@@ -1,0 +1,102 @@
+// Ablation: constraint -> QUBO synthesis paths. Compares the closed-form
+// builtin constructions, the exact-LP search, and the Z3 search (the
+// paper's method) on the constraint patterns the seven problems actually
+// generate. Output: per-pattern synthesis time; ancilla counts are printed
+// once at startup for context.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "synth/builtin.hpp"
+#include "synth/lp_synth.hpp"
+#include "synth/pattern.hpp"
+#if NCK_HAVE_Z3
+#include "synth/z3_synth.hpp"
+#endif
+
+namespace {
+
+using namespace nck;
+
+// Pattern zoo: (name, multiplicities, selection).
+struct NamedPattern {
+  const char* name;
+  ConstraintPattern pattern;
+};
+
+const std::vector<NamedPattern>& patterns() {
+  static const std::vector<NamedPattern> zoo = {
+      {"edge{1,2}", ConstraintPattern({1, 1}, {1, 2})},
+      {"exactly1of3", ConstraintPattern({1, 1, 1}, {1})},
+      {"atmost1of2", ConstraintPattern({1, 1}, {0, 1})},
+      {"xor3", ConstraintPattern({1, 1, 1}, {0, 2})},
+      {"atleast1of4", ConstraintPattern({1, 1, 1, 1}, {1, 2, 3, 4})},
+      {"sat-clause-q1", ConstraintPattern({1, 2, 2}, {0, 2, 3, 4, 5})},
+  };
+  return zoo;
+}
+
+void BM_Builtin(benchmark::State& state) {
+  const auto& np = patterns()[static_cast<std::size_t>(state.range(0))];
+  BuiltinSynthesizer synth;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synth.synthesize(np.pattern));
+  }
+  state.SetLabel(np.name);
+}
+BENCHMARK(BM_Builtin)->DenseRange(0, 5);
+
+void BM_LpSynth(benchmark::State& state) {
+  const auto& np = patterns()[static_cast<std::size_t>(state.range(0))];
+  LpSynthesizer synth;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synth.synthesize(np.pattern));
+  }
+  state.SetLabel(np.name);
+}
+BENCHMARK(BM_LpSynth)->DenseRange(0, 5);
+
+#if NCK_HAVE_Z3
+void BM_Z3Synth(benchmark::State& state) {
+  const auto& np = patterns()[static_cast<std::size_t>(state.range(0))];
+  Z3Synthesizer synth;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synth.synthesize(np.pattern));
+  }
+  state.SetLabel(np.name);
+}
+BENCHMARK(BM_Z3Synth)->DenseRange(0, 5);
+#endif
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("Ancilla counts per path (builtin / lp%s):\n",
+#if NCK_HAVE_Z3
+              " / z3"
+#else
+              ""
+#endif
+  );
+  for (const auto& np : patterns()) {
+    BuiltinSynthesizer b;
+    LpSynthesizer lp;
+    const auto rb = b.synthesize(np.pattern);
+    const auto rl = lp.synthesize(np.pattern);
+    std::printf("  %-14s builtin=%s lp=%s", np.name,
+                rb ? std::to_string(rb->num_ancillas).c_str() : "-",
+                rl ? std::to_string(rl->num_ancillas).c_str() : "-");
+#if NCK_HAVE_Z3
+    Z3Synthesizer z3;
+    const auto rz = z3.synthesize(np.pattern);
+    std::printf(" z3=%s", rz ? std::to_string(rz->num_ancillas).c_str() : "-");
+#endif
+    std::printf("\n");
+  }
+  std::printf("\n");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Fig 10 reproduction: number of NchooseK constraints (x) versus transpiled
+// circuit depth (y) per problem type. Pure transpilation — no sampling — so
+// the sweep extends to the full 65-qubit ceiling quickly. Expected shape:
+// depth grows with constraints at problem-specific rates, with occasional
+// non-monotonicity (the paper's vertex-cover example: 30 vars / 82
+// constraints needed depth 245 while 33 vars / 90 constraints needed 199 —
+// layout/routing luck matters).
+#include <iostream>
+
+#include "circuit/coupling.hpp"
+#include "circuit/qaoa.hpp"
+#include "circuit/transpiler.hpp"
+#include "core/compile.hpp"
+#include "harness.hpp"
+#include "qubo/ising.hpp"
+#include "util/table.hpp"
+
+using namespace nck;
+using nck::bench::Instance;
+
+int main() {
+  std::cout << "=== Fig 10: constraints vs circuit depth (transpile only) "
+               "===\n\n";
+  const Graph coupling = brooklyn_coupling();
+  SynthEngine engine;
+
+  Table table({"problem", "size", "constraints", "nck-vars", "qubits", "depth",
+               "cx", "swaps"});
+  for (Instance& inst : bench::all_instances(33, 24, 16)) {
+    const CompiledQubo cq = compile(inst.env, engine);
+    if (cq.num_qubo_vars() > coupling.num_vertices()) continue;
+    const IsingModel ising = qubo_to_ising(cq.qubo);
+    const Circuit logical =
+        build_qaoa_circuit(ising, std::vector<double>{0.5, 0.5});
+    const auto result = transpile(logical, coupling);
+    if (!result) continue;
+    table.row()
+        .cell(inst.problem)
+        .cell(inst.label)
+        .cell(inst.env.num_constraints())
+        .cell(inst.env.num_vars())
+        .cell(cq.num_qubo_vars())
+        .cell(result->depth)
+        .cell(result->cx_count)
+        .cell(result->swap_count);
+  }
+  table.print(std::cout);
+  return 0;
+}

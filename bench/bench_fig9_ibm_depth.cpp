@@ -1,0 +1,50 @@
+// Fig 9 reproduction: transpiled circuit depth (y) per problem (x) on the
+// simulated Brooklyn device, with optimal/suboptimal/incorrect markers.
+// Expected shape: deeper circuits correlate with worse outcomes, with
+// problem-specific exceptions (the paper shows a suboptimal Max Cut at
+// depth 172 followed by optimal runs at 179+ — depth is not a perfect
+// predictor because which qubits/paths get used also matters).
+#include <iostream>
+
+#include "circuit/backend.hpp"
+#include "circuit/coupling.hpp"
+#include "harness.hpp"
+#include "util/table.hpp"
+
+using namespace nck;
+using nck::bench::Instance;
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  std::cout << "=== Fig 9: circuit depth per problem (simulated "
+               "ibmq_brooklyn) ===\n\n";
+
+  const Graph coupling = brooklyn_coupling();
+  SynthEngine engine;
+  Rng rng(9);
+
+  CircuitBackendOptions options;
+  options.qaoa.shots = quick ? 512 : 2000;
+  options.qaoa.max_sim_qubits = 14;
+  options.qaoa.optimizer.max_evaluations = quick ? 12 : 28;
+
+  Table table({"problem", "size", "qubits", "depth", "cx", "result"});
+  for (Instance& inst : bench::all_instances(quick ? 9 : 18, quick ? 6 : 12,
+                                             quick ? 4 : 8)) {
+    const GroundTruth& truth = inst.truth;  // precomputed by the harness
+    if (!truth.feasible) continue;
+    const CircuitOutcome outcome =
+        run_circuit_backend(inst.env, coupling, engine, rng, options);
+    if (!outcome.fits) continue;
+    const Quality q = classify(outcome.evaluations.front(), truth);
+    table.row()
+        .cell(inst.problem)
+        .cell(inst.label)
+        .cell(outcome.qubits_used)
+        .cell(outcome.depth)
+        .cell(outcome.cx_count)
+        .cell(quality_name(q));
+  }
+  table.print(std::cout);
+  return 0;
+}

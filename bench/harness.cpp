@@ -1,0 +1,121 @@
+#include "harness.hpp"
+
+#include <stdexcept>
+
+#include "classical/exact_solver.hpp"
+#include "graph/algorithms.hpp"
+
+namespace nck::bench {
+
+std::vector<std::size_t> vertex_scaling_sizes(std::size_t max_vertices) {
+  std::vector<std::size_t> sizes;
+  for (std::size_t n = 6; n <= max_vertices && n <= 33; n += 3) {
+    sizes.push_back(n);
+  }
+  // Past 33 the paper scales in larger increments.
+  for (std::size_t n = 42; n <= max_vertices; n += 9) sizes.push_back(n);
+  return sizes;
+}
+
+std::vector<Instance> graph_instances(const std::string& problem,
+                                      std::size_t max_vertices) {
+  std::vector<Instance> instances;
+  for (std::size_t n : vertex_scaling_sizes(max_vertices)) {
+    const Graph g = vertex_scaling_graph(n);
+    Instance inst;
+    inst.problem = problem;
+    inst.label = std::to_string(n) + "v";
+    inst.scale = n;
+    if (problem == "max-cut") {
+      inst.env = MaxCutProblem{g}.encode();
+      // One soft constraint per edge; the optimum satisfies max-cut many.
+      inst.truth = {true, maximum_cut_size(g)};
+    } else if (problem == "min-vertex-cover") {
+      inst.env = VertexCoverProblem{g}.encode();
+      // |V| soft constraints; the optimum leaves min-cover of them unmet.
+      inst.truth = {true, g.num_vertices() - minimum_vertex_cover_size(g)};
+    } else if (problem == "map-coloring") {
+      inst.env = MapColoringProblem{g, 3}.encode();
+      // Chained triangles are 3-chromatic; hard-only problem.
+      inst.truth = {true, 0};
+    } else if (problem == "clique-cover") {
+      // Chained triangles are coverable by n/3 cliques; hard-only problem.
+      inst.env = CliqueCoverProblem{g, static_cast<int>(n / 3)}.encode();
+      inst.truth = {true, 0};
+    } else {
+      throw std::invalid_argument("graph_instances: unknown problem " + problem);
+    }
+    instances.push_back(std::move(inst));
+  }
+  return instances;
+}
+
+std::vector<Instance> cover_instances(const std::string& problem,
+                                      std::size_t max_elements,
+                                      std::uint64_t seed) {
+  std::vector<Instance> instances;
+  Rng rng(seed);
+  for (std::size_t n = 6; n <= max_elements; n += 6) {
+    // Same sets for exact cover and min set cover, as in Section VII.
+    Rng instance_rng(rng.split());
+    const SetSystem system =
+        random_set_system(n, /*partition_blocks=*/n / 3,
+                          /*extra_subsets=*/n / 2, instance_rng);
+    Instance inst;
+    inst.problem = problem;
+    inst.label = std::to_string(n) + "e/" + std::to_string(system.subsets.size()) + "s";
+    inst.scale = system.subsets.size();
+    if (problem == "exact-cover") {
+      // Planted partition: always exactly coverable; hard-only problem.
+      inst.env = ExactCoverProblem{system}.encode();
+      inst.truth = {true, 0};
+    } else if (problem == "min-set-cover") {
+      const MinSetCoverProblem msc{system};
+      inst.env = msc.encode();
+      inst.truth = {true,
+                    system.subsets.size() - msc.optimal_cover_size()};
+    } else {
+      throw std::invalid_argument("cover_instances: unknown problem " + problem);
+    }
+    instances.push_back(std::move(inst));
+  }
+  return instances;
+}
+
+std::vector<Instance> ksat_instances(std::size_t max_vars, std::uint64_t seed) {
+  std::vector<Instance> instances;
+  Rng rng(seed);
+  for (std::size_t n = 4; n <= max_vars; n += 4) {
+    Rng instance_rng(rng.split());
+    const KSatInstance sat =
+        random_ksat(n, /*num_clauses=*/3 * n, /*k=*/3, instance_rng);
+    Instance inst;
+    inst.problem = "3-sat";
+    inst.label = std::to_string(n) + "v/" + std::to_string(sat.clauses.size()) + "c";
+    inst.scale = n;
+    inst.env = KSatProblem{sat}.encode_repeated();
+    inst.truth = {true, 0};  // planted instances are satisfiable; hard-only
+    instances.push_back(std::move(inst));
+  }
+  return instances;
+}
+
+std::vector<Instance> all_instances(std::size_t graph_max_vertices,
+                                    std::size_t cover_max_elements,
+                                    std::size_t sat_max_vars) {
+  std::vector<Instance> all;
+  for (const char* problem :
+       {"max-cut", "min-vertex-cover", "map-coloring", "clique-cover"}) {
+    auto batch = graph_instances(problem, graph_max_vertices);
+    for (auto& inst : batch) all.push_back(std::move(inst));
+  }
+  for (const char* problem : {"exact-cover", "min-set-cover"}) {
+    auto batch = cover_instances(problem, cover_max_elements);
+    for (auto& inst : batch) all.push_back(std::move(inst));
+  }
+  auto sat = ksat_instances(sat_max_vars);
+  for (auto& inst : sat) all.push_back(std::move(inst));
+  return all;
+}
+
+}  // namespace nck::bench

@@ -1,0 +1,58 @@
+// Shared machinery for the figure/table reproduction harnesses: the paper's
+// scaling studies (Section VII), problem registry, and uniform run/classify
+// helpers. Each bench binary prints one table/figure's data series.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/env.hpp"
+#include "graph/generators.hpp"
+#include "problems/coloring.hpp"
+#include "problems/cover.hpp"
+#include "problems/ksat.hpp"
+#include "problems/max_cut.hpp"
+#include "problems/vertex_cover.hpp"
+#include "runtime/result.hpp"
+#include "util/rng.hpp"
+
+namespace nck::bench {
+
+/// One experiment instance: a program plus its human-readable label, a
+/// scale parameter (vertices / variables / elements, for the x-axis), and
+/// its precomputed ground truth. Truths come from problem-specific exact
+/// algorithms (vertex-cover/max-cut branch and bound, coloring feasibility,
+/// exhaustive set-cover), NOT from the generic NchooseK solver — the
+/// one-hot instances grow far past what a generic search can certify.
+struct Instance {
+  std::string problem;
+  std::string label;
+  std::size_t scale = 0;
+  Env env;
+  GroundTruth truth;
+};
+
+/// The paper's vertex-scaling study (Section VII): chained 3-cliques from
+/// 6 vertices up to `max_vertices`, in steps of one clique (then larger
+/// increments past 33, as in the paper).
+std::vector<std::size_t> vertex_scaling_sizes(std::size_t max_vertices);
+
+/// Graph-problem instances over the vertex-scaling graphs.
+std::vector<Instance> graph_instances(const std::string& problem,
+                                      std::size_t max_vertices);
+
+/// Cover/SAT instances of growing size (same sets shared by exact cover and
+/// min set cover, as in the paper).
+std::vector<Instance> cover_instances(const std::string& problem,
+                                      std::size_t max_elements,
+                                      std::uint64_t seed = 424242);
+std::vector<Instance> ksat_instances(std::size_t max_vars,
+                                     std::uint64_t seed = 171717);
+
+/// Everything, keyed by the paper's problem names.
+std::vector<Instance> all_instances(std::size_t graph_max_vertices,
+                                    std::size_t cover_max_elements,
+                                    std::size_t sat_max_vars);
+
+}  // namespace nck::bench

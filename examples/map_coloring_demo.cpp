@@ -1,0 +1,53 @@
+// Map Coloring (Section VI-A-d): the one-hot-encoded NP-complete problem
+// that earlier NchooseK work already handled (hard constraints only).
+// Colors a random planar-style "map" of regions with 4 colors and shows the
+// per-backend results plus the Table I constraint accounting.
+#include <cstdio>
+
+#include "graph/generators.hpp"
+#include "problems/coloring.hpp"
+#include "runtime/solver.hpp"
+
+int main() {
+  using namespace nck;
+
+  Rng rng(5);
+  const Graph map = region_map_graph(3, 3, 0.4, rng);
+  const MapColoringProblem problem{map, 4};
+  std::printf("Region map: %zu regions, %zu adjacencies; 4 colors "
+              "(feasible: %s)\n\n",
+              map.num_vertices(), map.num_edges(),
+              problem.feasible() ? "yes" : "no");
+
+  const Env env = problem.encode();
+  std::printf("NchooseK program: %zu variables (|V| * colors), "
+              "%zu constraints (|V| + colors * |E|), %zu non-symmetric\n\n",
+              env.num_vars(), env.num_constraints(), env.num_nonsymmetric());
+
+  Solver solver(31);
+  solver.annealer_options().sampler.num_reads = 100;
+  for (BackendKind backend : {BackendKind::kClassical, BackendKind::kAnnealer}) {
+    const SolveReport report = solver.solve(env, backend);
+    if (!report.ran) {
+      std::printf("%-9s: %s\n", backend_name(backend), report.failure.c_str());
+      continue;
+    }
+    const auto colors =
+        decode_one_hot(report.best_assignment, map.num_vertices(), 4);
+    std::printf("%-9s: [%s]", backend_name(backend),
+                quality_name(report.best_quality));
+    if (colors) {
+      std::printf(" coloring:");
+      for (int c : *colors) std::printf(" %d", c);
+      std::printf(" (valid: %s)",
+                  problem.verify(report.best_assignment) ? "yes" : "no");
+    } else {
+      std::printf(" (one-hot decode failed)");
+    }
+    if (backend == BackendKind::kAnnealer) {
+      std::printf("  physical qubits=%zu", report.qubits_used);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,116 @@
+#include "anneal/backend.hpp"
+
+#include <numeric>
+
+#include "qubo/ising.hpp"
+#include "qubo/presolve.hpp"
+#include "util/timer.hpp"
+
+namespace nck {
+namespace {
+
+// Interaction graph of a QUBO: one vertex per variable, one edge per
+// nonzero quadratic term. This is what gets minor-embedded.
+Graph interaction_graph(const Qubo& q) {
+  Graph g(q.num_variables());
+  for (const auto& [i, j, c] : q.quadratic_terms()) g.add_edge(i, j);
+  return g;
+}
+
+}  // namespace
+
+AnnealOutcome run_annealer(const Env& env, const Device& device,
+                           SynthEngine& engine, Rng& rng,
+                           const AnnealBackendOptions& options) {
+  AnnealOutcome outcome;
+
+  Timer compile_timer;
+  const CompiledQubo compiled = compile(env, engine, options.compile);
+  outcome.num_logical = compiled.num_qubo_vars();
+
+  // Optional presolve: pin decidable variables, then sample only the free
+  // ones. `to_sampled` maps full QUBO indices to the compacted problem.
+  Qubo sampled_qubo = compiled.qubo;
+  PresolveResult pres;
+  std::vector<std::size_t> free_vars;
+  if (options.use_presolve) {
+    pres = presolve(compiled.qubo);
+    outcome.presolve_fixed = pres.num_fixed;
+    std::vector<Qubo::Var> to_sampled(compiled.num_qubo_vars(), 0);
+    for (std::size_t i = 0; i < pres.fixed.size(); ++i) {
+      if (pres.fixed[i] == -1) {
+        to_sampled[i] = static_cast<Qubo::Var>(free_vars.size());
+        free_vars.push_back(i);
+      }
+    }
+    sampled_qubo = pres.reduced.remapped(to_sampled);
+    sampled_qubo.resize(free_vars.size());
+  }
+  const IsingModel logical = qubo_to_ising(sampled_qubo);
+  const double compile_ms = compile_timer.milliseconds();
+
+  // Expands a sample over the (possibly compacted) sampled problem back to
+  // the program variables.
+  auto to_program_vars = [&](const std::vector<bool>& sampled) {
+    std::vector<bool> full(compiled.num_qubo_vars(), false);
+    if (options.use_presolve) {
+      for (std::size_t k = 0; k < free_vars.size(); ++k) {
+        full[free_vars[k]] = sampled[k];
+      }
+      full = pres.complete(std::move(full));
+    } else {
+      full = sampled;
+      full.resize(compiled.num_qubo_vars(), false);
+    }
+    return std::vector<bool>(
+        full.begin(),
+        full.begin() + static_cast<std::ptrdiff_t>(compiled.num_problem_vars));
+  };
+
+  if (sampled_qubo.num_variables() == 0) {
+    // Everything pinned by presolve: the answer is deterministic.
+    outcome.embedded = true;
+    for (std::size_t r = 0; r < options.sampler.num_reads; ++r) {
+      std::vector<bool> program_vars = to_program_vars({});
+      outcome.evaluations.push_back(env.evaluate(program_vars));
+      outcome.samples.push_back(std::move(program_vars));
+    }
+    outcome.timing.client_compile_ms = compile_ms;
+    return outcome;
+  }
+
+  Timer embed_timer;
+  const Graph logical_graph = interaction_graph(sampled_qubo);
+  const Graph working = device.working_graph();
+  const auto embedding =
+      find_embedding(logical_graph, working, rng, options.embed);
+  const double embed_ms = embed_timer.milliseconds();
+  if (!embedding) {
+    outcome.timing.client_compile_ms = compile_ms;
+    outcome.timing.client_embed_ms = embed_ms;
+    return outcome;  // embedded == false
+  }
+
+  outcome.embedded = true;
+  outcome.qubits_used = embedding->total_qubits();
+  outcome.max_chain_length = embedding->max_chain_length();
+
+  const EmbeddedProblem problem =
+      embed_ising(logical, *embedding, working, options.chain_strength);
+  const AnnealSampleResult sampled =
+      sample_annealer(logical, problem, options.sampler, rng);
+
+  outcome.samples.reserve(sampled.reads.size());
+  outcome.evaluations.reserve(sampled.reads.size());
+  for (const auto& read : sampled.reads) {
+    std::vector<bool> program_vars = to_program_vars(read.logical);
+    outcome.evaluations.push_back(env.evaluate(program_vars));
+    outcome.samples.push_back(std::move(program_vars));
+  }
+  outcome.timing = sampled.timing;
+  outcome.timing.client_compile_ms = compile_ms;
+  outcome.timing.client_embed_ms = embed_ms;
+  return outcome;
+}
+
+}  // namespace nck

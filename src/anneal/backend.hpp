@@ -1,0 +1,49 @@
+// End-to-end annealing backend: NchooseK program -> QUBO -> Ising -> minor
+// embedding on the device -> noisy sampling -> logical samples over the
+// program's variables. Mirrors what NchooseK does through D-Wave's Ocean
+// API, with the QPU replaced by the simulator in sampler.hpp.
+#pragma once
+
+#include <optional>
+
+#include "anneal/embedding.hpp"
+#include "anneal/sampler.hpp"
+#include "anneal/topology.hpp"
+#include "core/compile.hpp"
+#include "core/env.hpp"
+#include "synth/engine.hpp"
+
+namespace nck {
+
+struct AnnealBackendOptions {
+  AnnealerSamplerOptions sampler;
+  EmbedOptions embed;
+  CompileOptions compile;
+  double chain_strength = 0.0;  // <= 0: automatic
+  /// QUBO presolve before embedding (like Ocean's fix_variables): variables
+  /// whose optimal value follows from coefficient signs are pinned and
+  /// never consume physical qubits. Off by default so the paper-faithful
+  /// benches report unreduced footprints.
+  bool use_presolve = false;
+};
+
+struct AnnealOutcome {
+  bool embedded = false;          // false => device too small / embed failed
+  std::size_t num_logical = 0;    // QUBO variables (program vars + ancillas)
+  std::size_t presolve_fixed = 0; // variables pinned before embedding
+  std::size_t qubits_used = 0;    // physical qubits (the paper's x-axis)
+  std::size_t max_chain_length = 0;
+  /// Samples projected to the program variables, ordered by ascending
+  /// logical energy; paired with each sample's program evaluation.
+  std::vector<std::vector<bool>> samples;
+  std::vector<Evaluation> evaluations;
+  DWaveTiming timing;
+};
+
+/// Runs the program on the (simulated) annealing device. Uses and warms the
+/// provided synthesis engine; pass a fresh one for isolated runs.
+AnnealOutcome run_annealer(const Env& env, const Device& device,
+                           SynthEngine& engine, Rng& rng,
+                           const AnnealBackendOptions& options = {});
+
+}  // namespace nck

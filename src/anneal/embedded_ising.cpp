@@ -1,0 +1,129 @@
+#include "anneal/embedded_ising.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace nck {
+
+double recommended_chain_strength(const IsingModel& logical) {
+  // Torque-compensation style: ~0.65 * rms(J) * sqrt(average degree),
+  // floored at half the strongest single coupler. Stronger chains look
+  // safer but are not: after hardware auto-scaling they compress the
+  // problem's energy gaps (empirically the fidelity optimum sits near
+  // 0.35-0.5x of the classic sqrt(2)-prefactor recommendation; see
+  // bench_ablation_anneal).
+  double sum_sq = 0.0;
+  double max_j = 0.0;
+  std::size_t count = 0;
+  for (const auto& [a, b, c] : logical.j) {
+    sum_sq += c * c;
+    max_j = std::max(max_j, std::abs(c));
+    ++count;
+  }
+  if (count == 0 || logical.h.empty()) {
+    double max_h = 0.0;
+    for (double h : logical.h) max_h = std::max(max_h, std::abs(h));
+    return std::max(1.0, max_h);
+  }
+  const double rms = std::sqrt(sum_sq / static_cast<double>(count));
+  const double avg_degree =
+      2.0 * static_cast<double>(count) / static_cast<double>(logical.h.size());
+  return std::max({1e-3, 0.5 * max_j, 0.65 * rms * std::sqrt(avg_degree)});
+}
+
+EmbeddedProblem embed_ising(const IsingModel& logical,
+                            const Embedding& embedding, const Graph& physical,
+                            double chain_strength) {
+  if (embedding.chains.size() < logical.num_spins()) {
+    throw std::invalid_argument("embed_ising: embedding too small");
+  }
+  EmbeddedProblem out;
+  out.chain_strength =
+      chain_strength > 0.0 ? chain_strength : recommended_chain_strength(logical);
+
+  // Compact index space over used qubits.
+  std::unordered_map<Graph::Vertex, std::uint32_t> compact;
+  out.chain.resize(logical.num_spins());
+  for (std::size_t v = 0; v < logical.num_spins(); ++v) {
+    for (Graph::Vertex q : embedding.chains[v]) {
+      auto [it, inserted] =
+          compact.emplace(q, static_cast<std::uint32_t>(out.qubit.size()));
+      if (inserted) out.qubit.push_back(q);
+      out.chain[v].push_back(it->second);
+    }
+  }
+
+  out.ising.h.assign(out.qubit.size(), 0.0);
+  out.ising.offset = logical.offset;
+
+  // Fields: split uniformly across the chain.
+  for (std::size_t v = 0; v < logical.num_spins(); ++v) {
+    const double share =
+        logical.h[v] / static_cast<double>(out.chain[v].size());
+    for (std::uint32_t c : out.chain[v]) out.ising.h[c] += share;
+  }
+
+  // Logical couplers: distributed uniformly across every available physical
+  // coupler between the two chains.
+  for (const auto& [a, b, jv] : logical.j) {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> couplers;
+    for (std::size_t ia = 0; ia < out.chain[a].size(); ++ia) {
+      for (std::size_t ib = 0; ib < out.chain[b].size(); ++ib) {
+        const Graph::Vertex qa = embedding.chains[a][ia];
+        const Graph::Vertex qb = embedding.chains[b][ib];
+        if (physical.has_edge(qa, qb)) {
+          couplers.emplace_back(out.chain[a][ia], out.chain[b][ib]);
+        }
+      }
+    }
+    if (couplers.empty()) {
+      throw std::invalid_argument(
+          "embed_ising: logical coupler has no physical edge (invalid "
+          "embedding)");
+    }
+    const double share = jv / static_cast<double>(couplers.size());
+    for (const auto& [ca, cb] : couplers) {
+      out.ising.j.emplace_back(std::min(ca, cb), std::max(ca, cb), share);
+    }
+  }
+
+  // Intra-chain ferromagnetic couplers along every physical edge inside a
+  // chain. Offset keeps intact-chain energies aligned with logical energies.
+  for (std::size_t v = 0; v < logical.num_spins(); ++v) {
+    const auto& chain_q = embedding.chains[v];
+    for (std::size_t i = 0; i < chain_q.size(); ++i) {
+      for (std::size_t k = i + 1; k < chain_q.size(); ++k) {
+        if (physical.has_edge(chain_q[i], chain_q[k])) {
+          const std::uint32_t ca = out.chain[v][i];
+          const std::uint32_t cb = out.chain[v][k];
+          out.ising.j.emplace_back(std::min(ca, cb), std::max(ca, cb),
+                                   -out.chain_strength);
+          out.ising.offset += out.chain_strength;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<bool> unembed_sample(const std::vector<bool>& physical_sample,
+                                 const EmbeddedProblem& problem,
+                                 std::size_t* chain_breaks) {
+  std::vector<bool> logical(problem.chain.size());
+  std::size_t breaks = 0;
+  for (std::size_t v = 0; v < problem.chain.size(); ++v) {
+    std::size_t up = 0;
+    for (std::uint32_t c : problem.chain[v]) {
+      if (physical_sample[c]) ++up;
+    }
+    const std::size_t len = problem.chain[v].size();
+    if (up != 0 && up != len) ++breaks;
+    logical[v] = 2 * up >= len;  // majority vote (ties -> up)
+  }
+  if (chain_breaks) *chain_breaks = breaks;
+  return logical;
+}
+
+}  // namespace nck

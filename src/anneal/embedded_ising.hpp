@@ -1,0 +1,42 @@
+// Turning a logical Ising problem plus an embedding into the physical-qubit
+// Ising program a D-Wave QPU would run: fields split across chains, logical
+// couplers distributed over available physical couplers, and ferromagnetic
+// intra-chain couplers at the chain strength. Also the inverse direction:
+// majority-vote unembedding with chain-break accounting.
+#pragma once
+
+#include "anneal/embedding.hpp"
+#include "qubo/ising.hpp"
+
+namespace nck {
+
+/// Physical Ising program over a *compact* index space covering only the
+/// qubits actually used (keeps the sampler cost proportional to the
+/// embedded size, not the 5760-qubit lattice).
+struct EmbeddedProblem {
+  IsingModel ising;                           // over compact indices
+  std::vector<Graph::Vertex> qubit;           // compact index -> physical qubit
+  std::vector<std::vector<std::uint32_t>> chain;  // logical var -> compact ids
+  double chain_strength = 0.0;
+
+  std::size_t num_physical_qubits() const noexcept { return qubit.size(); }
+};
+
+/// Uniform-torque-compensation style heuristic: strong enough to hold
+/// chains together, scaled by the problem's coupling magnitudes.
+double recommended_chain_strength(const IsingModel& logical);
+
+/// Builds the physical program. `chain_strength <= 0` selects the
+/// recommendation. Requires a valid embedding for the logical interaction
+/// graph (every nonzero J must have at least one physical coupler).
+EmbeddedProblem embed_ising(const IsingModel& logical,
+                            const Embedding& embedding, const Graph& physical,
+                            double chain_strength = 0.0);
+
+/// Majority-vote per chain; `chain_breaks` (optional) receives the number of
+/// chains whose qubits disagreed.
+std::vector<bool> unembed_sample(const std::vector<bool>& physical_sample,
+                                 const EmbeddedProblem& problem,
+                                 std::size_t* chain_breaks = nullptr);
+
+}  // namespace nck

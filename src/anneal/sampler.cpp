@@ -1,0 +1,118 @@
+#include "anneal/sampler.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "qubo/ising.hpp"
+
+namespace nck {
+namespace {
+
+IsingModel perturbed(const IsingModel& ising, double sigma_abs, Rng& rng) {
+  IsingModel noisy = ising;
+  if (sigma_abs > 0.0) {
+    for (double& h : noisy.h) h += rng.gaussian(0.0, sigma_abs);
+    for (auto& [a, b, c] : noisy.j) c += rng.gaussian(0.0, sigma_abs);
+  }
+  return noisy;
+}
+
+double max_abs_coefficient(const IsingModel& ising) {
+  double m = 0.0;
+  for (double h : ising.h) m = std::max(m, std::abs(h));
+  for (const auto& [a, b, c] : ising.j) m = std::max(m, std::abs(c));
+  return m;
+}
+
+}  // namespace
+
+AnnealSampleResult sample_annealer(const IsingModel& logical,
+                                   const EmbeddedProblem& problem,
+                                   const AnnealerSamplerOptions& options,
+                                   Rng& rng) {
+  AnnealSampleResult result;
+  result.reads.resize(options.num_reads);
+
+  const double scale = max_abs_coefficient(problem.ising);
+  const double sigma = options.ice_sigma * scale;
+
+  std::vector<Rng> streams;
+  streams.reserve(options.num_reads);
+  for (std::size_t r = 0; r < options.num_reads; ++r) {
+    streams.push_back(rng.split());
+  }
+
+  AnnealParams params;
+  params.num_sweeps = options.num_sweeps;
+  params.beta_initial = options.beta_initial;
+  params.beta_final = options.beta_final;
+
+  const Qubo logical_qubo =
+      options.postprocess ? ising_to_qubo(logical) : Qubo();
+
+#pragma omp parallel for schedule(dynamic)
+  for (std::int64_t r = 0; r < static_cast<std::int64_t>(options.num_reads);
+       ++r) {
+    Rng& stream = streams[static_cast<std::size_t>(r)];
+    // Spin-reversal transform: gauge the clean program first; the control
+    // errors then act on the gauged program, so their effective sign
+    // pattern varies per read instead of biasing every read identically.
+    std::vector<bool> gauge(problem.ising.num_spins(), false);
+    IsingModel gauged = problem.ising;
+    if (options.spin_reversal_transform) {
+      for (std::size_t q = 0; q < gauge.size(); ++q) {
+        gauge[q] = stream.bernoulli(0.5);
+        if (gauge[q]) gauged.h[q] = -gauged.h[q];
+      }
+      for (auto& [a, b, c] : gauged.j) {
+        if (gauge[a] != gauge[b]) c = -c;
+      }
+    }
+    // Per-read control-error perturbation, then a classical relaxation of
+    // the perturbed physical program. Like the hardware, the program is
+    // auto-scaled to the unit coefficient range first, so the annealing
+    // temperature schedule is meaningful regardless of problem scale.
+    IsingModel noisy = perturbed(gauged, sigma, stream);
+    if (scale > 0.0) {
+      for (double& h : noisy.h) h /= scale;
+      for (auto& [a, b, c] : noisy.j) c /= scale;
+      noisy.offset /= scale;
+    }
+    const Qubo physical_qubo = ising_to_qubo(noisy);
+    Sample physical = anneal_once(physical_qubo, params, stream);
+    // Readout errors flip individual qubits after the anneal; then the
+    // gauge is undone.
+    for (std::size_t q = 0; q < physical.x.size(); ++q) {
+      if (stream.bernoulli(options.readout_error)) {
+        physical.x[q] = !physical.x[q];
+      }
+      if (options.spin_reversal_transform && gauge[q]) {
+        physical.x[q] = !physical.x[q];
+      }
+    }
+    AnnealRead& read = result.reads[static_cast<std::size_t>(r)];
+    read.logical = unembed_sample(physical.x, problem, &read.chain_breaks);
+    if (options.postprocess) {
+      read.logical = greedy_descent(logical_qubo, read.logical).x;
+    }
+    read.logical_energy = logical.energy(read.logical);
+  }
+
+  std::sort(result.reads.begin(), result.reads.end(),
+            [](const AnnealRead& a, const AnnealRead& b) {
+              return a.logical_energy < b.logical_energy;
+            });
+
+  result.timing.num_reads = options.num_reads;
+  result.timing.programming_us = options.timing_model.programming_us;
+  result.timing.sampling_us =
+      options.timing_model.sampling_time_us(options.num_reads);
+  result.timing.postprocess_us = options.timing_model.postprocess_us;
+  result.timing.total_us =
+      options.timing_model.qpu_access_time_us(options.num_reads);
+  return result;
+}
+
+}  // namespace nck

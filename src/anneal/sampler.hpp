@@ -1,0 +1,53 @@
+// Noisy annealing sampler: the classical proxy for a quantum annealer run.
+// Per read, the physical Ising program is perturbed by integrated control
+// errors (Gaussian noise on h and J, as on real hardware), simulated
+// annealing relaxes the embedded system, readout errors flip qubits, and
+// chains are majority-vote collapsed back to logical variables.
+#pragma once
+
+#include "anneal/embedded_ising.hpp"
+#include "anneal/timing.hpp"
+#include "qubo/heuristic.hpp"
+#include "util/rng.hpp"
+
+namespace nck {
+
+struct AnnealerSamplerOptions {
+  std::size_t num_reads = 100;   // the paper's D-Wave sample count
+  std::size_t num_sweeps = 1024; // Metropolis sweeps per read
+  double beta_initial = 0.05;
+  double beta_final = 6.0;
+  /// ICE noise: stddev of the Gaussian perturbation applied to each h and J,
+  /// relative to the largest absolute coefficient of the physical program.
+  double ice_sigma = 0.015;
+  /// Per-qubit readout flip probability.
+  double readout_error = 0.002;
+  /// Spin-reversal (gauge) transforms: each read runs under a random
+  /// per-qubit gauge, decorrelating the control-error noise from the
+  /// problem structure (a standard D-Wave mitigation).
+  bool spin_reversal_transform = true;
+  /// Greedy single-flip descent on the *logical* problem after
+  /// unembedding (D-Wave's optional post-processing).
+  bool postprocess = false;
+  DWaveTimingModel timing_model;
+};
+
+struct AnnealRead {
+  std::vector<bool> logical;  // unembedded sample over logical spins
+  double logical_energy = 0.0;
+  std::size_t chain_breaks = 0;
+};
+
+struct AnnealSampleResult {
+  std::vector<AnnealRead> reads;  // sorted by ascending logical energy
+  DWaveTiming timing;
+};
+
+/// Samples the embedded problem `num_reads` times (OpenMP-parallel across
+/// reads). `logical` is used only to report logical energies.
+AnnealSampleResult sample_annealer(const IsingModel& logical,
+                                   const EmbeddedProblem& problem,
+                                   const AnnealerSamplerOptions& options,
+                                   Rng& rng);
+
+}  // namespace nck

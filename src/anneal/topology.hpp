@@ -1,0 +1,68 @@
+// Quantum-annealer hardware topologies.
+//
+// Pegasus (D-Wave Advantage) is generated from the segment-intersection
+// model: each qubit is a length-12 line segment on an integer grid; vertical
+// and horizontal segments are coupled where they cross ("internal"
+// couplers), collinear consecutive segments are coupled ("external"), and
+// adjacent parallel segments within a cell pair up ("odd"). P_m has
+// 24*m*(m-1) qubits with maximum degree 15. Chimera (D-Wave 2000Q) is the
+// classic m x n grid of K_{4,4} cells.
+//
+// The exact Pegasus shift offsets are configurable; the defaults reproduce
+// the standard degree/count structure, which is what the embedding engine
+// and the paper's qubit-usage numbers depend on.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace nck {
+
+/// Pegasus P_m.
+///
+/// With `fabric_only` (the default, matching dwave-networkx), the 8*(m-1)
+/// boundary qubits that carry no internal couplers are pruned and ids are
+/// compacted in (u, w, k, z) order: P16 then has 24*16*15 - 8*15 = 5640
+/// qubits — exactly the Advantage 4.1 count the paper reports. With
+/// fabric_only = false the full 24*m*(m-1)-qubit lattice is returned and
+/// ids follow pegasus_id() directly.
+Graph pegasus_graph(int m, bool fabric_only = true);
+
+/// Pegasus coordinate <-> linear id helpers (exposed for tests).
+struct PegasusCoord {
+  int u;  // orientation: 0 = vertical, 1 = horizontal
+  int w;  // perpendicular offset block
+  int k;  // track within block, [0, 12)
+  int z;  // position along the segment direction, [0, m-1)
+};
+PegasusCoord pegasus_coord(int m, Graph::Vertex q);
+Graph::Vertex pegasus_id(int m, const PegasusCoord& c);
+
+/// Chimera C_{m,n} with shore size t (K_{t,t} cells). Qubit ids ordered by
+/// (row, column, side, index).
+Graph chimera_graph(int m, int n, int t = 4);
+
+/// A named device: its connectivity graph plus which qubits are operable.
+struct Device {
+  std::string name;
+  Graph graph;                 // full lattice connectivity
+  std::vector<bool> operable;  // per qubit; inoperable qubits must not be used
+
+  std::size_t num_operable() const;
+  /// Connectivity restricted to operable qubits (inoperable ones become
+  /// isolated vertices so ids stay stable).
+  Graph working_graph() const;
+};
+
+/// D-Wave Advantage 4.1 analogue: the Pegasus P16 fabric (5640 qubits, the
+/// paper's figure), optionally minus `dead_qubits` random fabrication
+/// defects (0 by default; real devices lose a further handful).
+Device advantage_4_1(Rng& rng, std::size_t dead_qubits = 0);
+
+/// Defect-free device over any graph (for tests and small studies).
+Device perfect_device(std::string name, Graph graph);
+
+}  // namespace nck

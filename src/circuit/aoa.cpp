@@ -1,0 +1,174 @@
+#include "circuit/aoa.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nck {
+
+std::size_t OneHotGroups::num_qubits() const {
+  std::size_t n = 0;
+  for (const auto& g : groups) n += g.size();
+  return n;
+}
+
+void OneHotGroups::validate(std::size_t total_qubits) const {
+  std::vector<bool> seen(total_qubits, false);
+  for (const auto& g : groups) {
+    if (g.empty()) {
+      throw std::invalid_argument("OneHotGroups: empty group");
+    }
+    for (Qubo::Var v : g) {
+      if (v >= total_qubits) {
+        throw std::invalid_argument("OneHotGroups: variable out of range");
+      }
+      if (seen[v]) {
+        throw std::invalid_argument("OneHotGroups: groups must be disjoint");
+      }
+      seen[v] = true;
+    }
+  }
+}
+
+namespace {
+
+// W-state preparation on a group: X on the first qubit, then a chain of
+// Givens (XY) rotations peeling off amplitude so that every one-hot basis
+// state of the group ends with probability 1/k. (Each hop contributes a -i
+// phase; the mixer preserves the subspace regardless.)
+void prepare_w_state(Circuit& circuit, const std::vector<Qubo::Var>& group) {
+  const std::size_t k = group.size();
+  circuit.x(group[0]);
+  for (std::size_t j = 1; j < k; ++j) {
+    // Keep probability 1/(k-j+1) of what remains at position j-1.
+    const double keep = 1.0 / std::sqrt(static_cast<double>(k - j + 1));
+    const double theta = 2.0 * std::acos(keep);
+    circuit.xy(group[j - 1], group[j], theta);
+  }
+}
+
+}  // namespace
+
+Circuit build_aoa_circuit(const IsingModel& conflict_cost,
+                          const OneHotGroups& groups,
+                          const std::vector<double>& params) {
+  if (params.size() % 2 != 0 || params.empty()) {
+    throw std::invalid_argument("build_aoa_circuit: need 2p parameters");
+  }
+  const std::size_t n = conflict_cost.num_spins();
+  Circuit circuit(n);
+  for (const auto& group : groups.groups) prepare_w_state(circuit, group);
+
+  for (std::size_t layer = 0; layer < params.size() / 2; ++layer) {
+    const double gamma = params[2 * layer];
+    const double beta = params[2 * layer + 1];
+    // Phase separator over the conflict Hamiltonian only.
+    for (const auto& [a, b, j] : conflict_cost.j) {
+      if (j != 0.0) circuit.rzz(a, b, 2.0 * gamma * j);
+    }
+    for (std::uint32_t q = 0; q < n; ++q) {
+      if (conflict_cost.h[q] != 0.0) {
+        circuit.rz(q, 2.0 * gamma * conflict_cost.h[q]);
+      }
+    }
+    // XY ring mixer per group (a single XY suffices for pairs).
+    for (const auto& group : groups.groups) {
+      const std::size_t k = group.size();
+      if (k < 2) continue;
+      for (std::size_t i = 0; i < k; ++i) {
+        const std::size_t next = (i + 1) % k;
+        if (k == 2 && i == 1) break;  // avoid the duplicate pair edge
+        circuit.xy(group[i], group[next], 2.0 * beta);
+      }
+    }
+  }
+  return circuit;
+}
+
+QaoaResult run_aoa(const Qubo& conflict_qubo, const Qubo& eval_qubo,
+                   const OneHotGroups& groups, const Graph& coupling,
+                   const QaoaOptions& options, Rng& rng) {
+  const std::size_t n =
+      std::max(conflict_qubo.num_variables(), eval_qubo.num_variables());
+  groups.validate(n);
+  if (n > options.max_sim_qubits || n > StateVector::kMaxQubits) {
+    throw std::invalid_argument("run_aoa: problem too wide to simulate");
+  }
+
+  QaoaResult result;
+  result.qubits = n;
+  result.mode = "xy-mixer-aoa";
+  IsingModel conflict = qubo_to_ising(conflict_qubo);
+  conflict.h.resize(n, 0.0);
+
+  // Transpiled metrics from a probe circuit.
+  const std::vector<double> probe(static_cast<std::size_t>(2 * options.p), 0.5);
+  const Circuit probe_circuit = build_aoa_circuit(conflict, groups, probe);
+  const auto transpiled = transpile(probe_circuit, coupling);
+  if (!transpiled) {
+    throw std::invalid_argument("run_aoa: circuit does not fit the device");
+  }
+  result.depth = transpiled->depth;
+  result.cx_count = transpiled->cx_count;
+  result.swap_count = transpiled->swap_count;
+  result.qubits_touched = transpiled->qubits_touched;
+  const std::size_t n_1q = transpiled->physical.num_gates() -
+                           transpiled->physical.num_two_qubit_gates();
+  result.fidelity = options.noise.fidelity(n_1q, result.cx_count);
+
+  auto sample_circuit = [&](const std::vector<double>& params,
+                            std::size_t shots) {
+    const Circuit circuit = build_aoa_circuit(conflict, groups, params);
+    StateVector state(n);
+    circuit.run(state);
+    const auto basis = state.sample(shots, rng);
+    std::vector<std::vector<bool>> out;
+    out.reserve(basis.size());
+    for (std::uint64_t b : basis) {
+      std::vector<bool> x(n);
+      for (std::size_t i = 0; i < n; ++i) x[i] = (b >> i) & 1u;
+      out.push_back(std::move(x));
+    }
+    // Same noise channel as standard QAOA; note depolarized shots may leave
+    // the one-hot subspace, exactly as they would on hardware.
+    for (auto& shot : out) {
+      if (!rng.bernoulli(result.fidelity)) {
+        for (std::size_t i = 0; i < shot.size(); ++i) {
+          shot[i] = rng.bernoulli(0.5);
+        }
+      } else if (options.noise.readout_flip > 0.0) {
+        for (std::size_t i = 0; i < shot.size(); ++i) {
+          if (rng.bernoulli(options.noise.readout_flip)) shot[i] = !shot[i];
+        }
+      }
+    }
+    return out;
+  };
+
+  const Objective objective = [&](const std::vector<double>& params) {
+    const auto shots = sample_circuit(
+        params, std::max<std::size_t>(256, options.shots / 8));
+    double mean = 0.0;
+    for (const auto& shot : shots) mean += eval_qubo.energy(shot);
+    return mean / static_cast<double>(shots.size());
+  };
+  std::vector<double> x0(static_cast<std::size_t>(2 * options.p));
+  for (std::size_t i = 0; i < x0.size(); ++i) {
+    x0[i] = i % 2 == 0 ? 0.6 : 0.5;
+  }
+  const OptimizeResult opt = nelder_mead(objective, x0, options.optimizer);
+  result.samples = sample_circuit(opt.x, options.shots);
+  result.num_jobs = opt.evaluations + 1;
+
+  result.energies.reserve(result.samples.size());
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& s : result.samples) {
+    const double e = eval_qubo.energy(s);
+    result.energies.push_back(e);
+    best = std::min(best, e);
+  }
+  result.best_energy = best;
+  return result;
+}
+
+}  // namespace nck

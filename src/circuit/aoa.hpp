@@ -1,0 +1,44 @@
+// Quantum Alternating Operator Ansatz (Hadfield et al.) — the future-work
+// direction the paper names in Section IX: replace QAOA's transverse-field
+// mixer with *constraint-preserving* custom mixers. For NchooseK's
+// ubiquitous one-hot structure (exactly-one constraints over disjoint
+// variable groups, as in map coloring and clique cover), the right mixer is
+// an XY ring per group: it moves amplitude only within the feasible one-hot
+// subspace, so the hard exactly-one constraints can never be violated and
+// the cost Hamiltonian only needs the conflict terms.
+//
+// The circuit is:  per-group W-state preparation (X + Givens chain), then p
+// layers of [conflict phase separator; per-group XY ring mixer].
+#pragma once
+
+#include "circuit/qaoa.hpp"
+
+namespace nck {
+
+/// Disjoint one-hot variable groups; each group's variables satisfy an
+/// exactly-one constraint enforced by the mixer instead of by penalties.
+struct OneHotGroups {
+  std::vector<std::vector<Qubo::Var>> groups;
+
+  std::size_t num_qubits() const;
+  /// Validates disjointness and non-emptiness; throws std::invalid_argument.
+  void validate(std::size_t total_qubits) const;
+};
+
+/// Builds the AOA circuit: W-state preparation per group, then p layers of
+/// conflict-cost phase separation and XY ring mixing.
+/// `params` = (gamma_1, beta_1, ..., gamma_p, beta_p).
+Circuit build_aoa_circuit(const IsingModel& conflict_cost,
+                          const OneHotGroups& groups,
+                          const std::vector<double>& params);
+
+/// Runs the AOA pipeline. `conflict_qubo` drives the phase separator (it
+/// should exclude the one-hot penalties); `eval_qubo` scores samples (the
+/// full compiled problem, so results are comparable with standard QAOA).
+/// State-vector only: throws std::invalid_argument beyond
+/// options.max_sim_qubits or if the device is too small.
+QaoaResult run_aoa(const Qubo& conflict_qubo, const Qubo& eval_qubo,
+                   const OneHotGroups& groups, const Graph& coupling,
+                   const QaoaOptions& options, Rng& rng);
+
+}  // namespace nck

@@ -1,0 +1,66 @@
+#include "circuit/backend.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/timer.hpp"
+
+namespace nck {
+
+CircuitOutcome run_circuit_backend(const Env& env, const Graph& coupling,
+                                   SynthEngine& engine, Rng& rng,
+                                   const CircuitBackendOptions& options) {
+  CircuitOutcome outcome;
+
+  Timer compile_timer;
+  const CompiledQubo compiled = compile(env, engine, options.compile);
+  outcome.client_compile_ms = compile_timer.milliseconds();
+  outcome.qubits_used = compiled.num_qubo_vars();
+
+  if (compiled.num_qubo_vars() > coupling.num_vertices()) {
+    return outcome;  // fits == false: more variables than physical qubits
+  }
+
+  QaoaResult qaoa;
+  try {
+    qaoa = run_qaoa(compiled.qubo, coupling, options.qaoa, rng);
+  } catch (const std::invalid_argument&) {
+    return outcome;  // device region too small after layout
+  }
+  outcome.fits = true;
+  outcome.qubits_touched = qaoa.qubits_touched;
+  outcome.depth = qaoa.depth;
+  outcome.cx_count = qaoa.cx_count;
+  outcome.num_jobs = qaoa.num_jobs;
+  outcome.fidelity = qaoa.fidelity;
+  outcome.mode = qaoa.mode;
+
+  // Order samples by energy so samples.front() is the reported result.
+  std::vector<std::size_t> order(qaoa.samples.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return qaoa.energies[a] < qaoa.energies[b];
+  });
+  outcome.samples.reserve(order.size());
+  outcome.evaluations.reserve(order.size());
+  for (std::size_t idx : order) {
+    std::vector<bool> program_vars(
+        qaoa.samples[idx].begin(),
+        qaoa.samples[idx].begin() +
+            static_cast<std::ptrdiff_t>(compiled.num_problem_vars));
+    outcome.evaluations.push_back(env.evaluate(program_vars));
+    outcome.samples.push_back(std::move(program_vars));
+  }
+
+  outcome.job_seconds.reserve(outcome.num_jobs);
+  double total = options.timing.server_overhead_s;
+  for (std::size_t j = 0; j < outcome.num_jobs; ++j) {
+    const double t = options.timing.job_seconds(rng);
+    outcome.job_seconds.push_back(t);
+    total += t + options.timing.optimizer_s_per_job;
+  }
+  outcome.total_seconds = total;
+  return outcome;
+}
+
+}  // namespace nck

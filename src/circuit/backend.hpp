@@ -1,0 +1,53 @@
+// End-to-end circuit-model backend: NchooseK program -> QUBO -> QAOA on a
+// heavy-hex device -> samples over the program's variables, plus the IBM
+// job-time model of Section VIII-C (each QAOA job 7-23 s with no visible
+// size correlation; ~500 s of server time per problem).
+#pragma once
+
+#include "circuit/qaoa.hpp"
+#include "core/compile.hpp"
+#include "core/env.hpp"
+#include "synth/engine.hpp"
+
+namespace nck {
+
+struct IbmTimingModel {
+  double job_base_s = 7.0;       // floor of observed job time
+  double job_jitter_s = 16.0;    // observed spread (uncorrelated with size)
+  double server_overhead_s = 500.0;  // create/transpile/validate/queue-free
+  double optimizer_s_per_job = 2.5;  // classical step between jobs
+
+  double job_seconds(Rng& rng) const {
+    return job_base_s + job_jitter_s * rng.uniform();
+  }
+};
+
+struct CircuitBackendOptions {
+  QaoaOptions qaoa;
+  CompileOptions compile;
+  IbmTimingModel timing;
+};
+
+struct CircuitOutcome {
+  bool fits = false;             // false => device too small
+  std::size_t qubits_used = 0;   // QUBO vars incl. ancillas (Fig 8 y-axis)
+  std::size_t qubits_touched = 0;
+  std::size_t depth = 0;         // Fig 9/10 y-axis
+  std::size_t cx_count = 0;
+  std::size_t num_jobs = 0;
+  double fidelity = 1.0;
+  std::string mode;
+  /// Samples projected to program variables, ordered by ascending energy.
+  std::vector<std::vector<bool>> samples;
+  std::vector<Evaluation> evaluations;
+  /// Timing model outputs.
+  std::vector<double> job_seconds;  // one entry per job (Fig 11 data)
+  double total_seconds = 0.0;
+  double client_compile_ms = 0.0;
+};
+
+CircuitOutcome run_circuit_backend(const Env& env, const Graph& coupling,
+                                   SynthEngine& engine, Rng& rng,
+                                   const CircuitBackendOptions& options = {});
+
+}  // namespace nck

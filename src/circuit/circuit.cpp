@@ -1,0 +1,92 @@
+#include "circuit/circuit.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace nck {
+
+const char* gate_name(GateKind kind) noexcept {
+  switch (kind) {
+    case GateKind::kH: return "h";
+    case GateKind::kX: return "x";
+    case GateKind::kRX: return "rx";
+    case GateKind::kRY: return "ry";
+    case GateKind::kRZ: return "rz";
+    case GateKind::kCX: return "cx";
+    case GateKind::kCZ: return "cz";
+    case GateKind::kRZZ: return "rzz";
+    case GateKind::kXY: return "xy";
+    case GateKind::kSwap: return "swap";
+  }
+  return "?";
+}
+
+void Circuit::push(Gate g) {
+  if (g.q0 >= num_qubits_ || (g.two_qubit() && g.q1 >= num_qubits_)) {
+    throw std::out_of_range("Circuit: qubit index out of range");
+  }
+  if (g.two_qubit() && g.q0 == g.q1) {
+    throw std::invalid_argument("Circuit: two-qubit gate needs distinct qubits");
+  }
+  gates_.push_back(g);
+}
+
+std::size_t Circuit::num_two_qubit_gates() const noexcept {
+  std::size_t n = 0;
+  for (const Gate& g : gates_) {
+    if (g.two_qubit()) ++n;
+  }
+  return n;
+}
+
+std::size_t Circuit::depth() const {
+  std::vector<std::size_t> timeline(num_qubits_, 0);
+  std::size_t depth = 0;
+  for (const Gate& g : gates_) {
+    std::size_t t = timeline[g.q0];
+    if (g.two_qubit()) t = std::max(t, timeline[g.q1]);
+    ++t;
+    timeline[g.q0] = t;
+    if (g.two_qubit()) timeline[g.q1] = t;
+    depth = std::max(depth, t);
+  }
+  return depth;
+}
+
+void Circuit::run(StateVector& state) const {
+  if (state.num_qubits() < num_qubits_) {
+    throw std::invalid_argument("Circuit::run: state too small");
+  }
+  for (const Gate& g : gates_) {
+    switch (g.kind) {
+      case GateKind::kH: state.h(g.q0); break;
+      case GateKind::kX: state.x(g.q0); break;
+      case GateKind::kRX: state.rx(g.q0, g.angle); break;
+      case GateKind::kRY: state.ry(g.q0, g.angle); break;
+      case GateKind::kRZ: state.rz(g.q0, g.angle); break;
+      case GateKind::kCX: state.cx(g.q0, g.q1); break;
+      case GateKind::kCZ: state.cz(g.q0, g.q1); break;
+      case GateKind::kRZZ: state.rzz(g.q0, g.q1, g.angle); break;
+      case GateKind::kXY: state.xy(g.q0, g.q1, g.angle); break;
+      case GateKind::kSwap: state.swap(g.q0, g.q1); break;
+    }
+  }
+}
+
+std::string Circuit::to_string() const {
+  std::ostringstream os;
+  for (const Gate& g : gates_) {
+    os << gate_name(g.kind) << " q" << g.q0;
+    if (g.two_qubit()) os << ", q" << g.q1;
+    if (g.kind == GateKind::kRX || g.kind == GateKind::kRY ||
+        g.kind == GateKind::kRZ || g.kind == GateKind::kRZZ ||
+        g.kind == GateKind::kXY) {
+      os << " (" << g.angle << ")";
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace nck

@@ -1,0 +1,42 @@
+// Derivative-free classical optimizers for the QAOA outer loop. Nelder-Mead
+// is the default (Qiskit's COBYLA analogue for our purposes: tens of
+// objective evaluations, each a quantum "job"); SPSA is provided for the
+// noisy-objective regime.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace nck {
+
+using Objective = std::function<double(const std::vector<double>&)>;
+
+struct OptimizeResult {
+  std::vector<double> x;
+  double value = 0.0;
+  std::size_t evaluations = 0;  // objective calls ("jobs" in IBM terms)
+};
+
+struct NelderMeadOptions {
+  std::size_t max_evaluations = 60;
+  double initial_step = 0.4;
+  double tolerance = 1e-4;  // simplex spread stopping criterion
+};
+
+OptimizeResult nelder_mead(const Objective& f, std::vector<double> x0,
+                           const NelderMeadOptions& options = {});
+
+struct SpsaOptions {
+  std::size_t iterations = 40;
+  double a = 0.2;   // step-size numerator
+  double c = 0.15;  // perturbation size
+  double alpha = 0.602;
+  double gamma = 0.101;
+  std::uint64_t seed = 1;
+};
+
+OptimizeResult spsa(const Objective& f, std::vector<double> x0,
+                    const SpsaOptions& options = {});
+
+}  // namespace nck

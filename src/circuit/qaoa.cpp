@@ -1,0 +1,151 @@
+#include "circuit/qaoa.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "qubo/heuristic.hpp"
+
+namespace nck {
+
+double NoiseModel::fidelity(std::size_t n_1q, std::size_t n_cx) const {
+  return std::pow(1.0 - error_1q, static_cast<double>(n_1q)) *
+         std::pow(1.0 - error_cx, static_cast<double>(n_cx));
+}
+
+Circuit build_qaoa_circuit(const IsingModel& ising,
+                           const std::vector<double>& params) {
+  if (params.size() % 2 != 0 || params.empty()) {
+    throw std::invalid_argument("build_qaoa_circuit: need 2p parameters");
+  }
+  const std::size_t n = ising.num_spins();
+  Circuit circuit(n);
+  for (std::uint32_t q = 0; q < n; ++q) circuit.h(q);
+  for (std::size_t layer = 0; layer < params.size() / 2; ++layer) {
+    const double gamma = params[2 * layer];
+    const double beta = params[2 * layer + 1];
+    // Cost layer: e^{-i gamma H_C}.
+    for (const auto& [a, b, j] : ising.j) {
+      if (j != 0.0) circuit.rzz(a, b, 2.0 * gamma * j);
+    }
+    for (std::uint32_t q = 0; q < n; ++q) {
+      if (ising.h[q] != 0.0) circuit.rz(q, 2.0 * gamma * ising.h[q]);
+    }
+    // Mixer layer: e^{-i beta sum X}.
+    for (std::uint32_t q = 0; q < n; ++q) circuit.rx(q, 2.0 * beta);
+  }
+  return circuit;
+}
+
+namespace {
+
+std::vector<bool> bits_of(std::uint64_t basis, std::size_t n) {
+  std::vector<bool> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = (basis >> i) & 1u;
+  return x;
+}
+
+// Applies the noise channel to a batch of shots in place.
+void apply_noise(std::vector<std::vector<bool>>& shots, double fidelity,
+                 double readout_flip, Rng& rng) {
+  for (auto& shot : shots) {
+    if (!rng.bernoulli(fidelity)) {
+      for (std::size_t i = 0; i < shot.size(); ++i) {
+        shot[i] = rng.bernoulli(0.5);  // fully depolarized
+      }
+      continue;
+    }
+    if (readout_flip > 0.0) {
+      for (std::size_t i = 0; i < shot.size(); ++i) {
+        if (rng.bernoulli(readout_flip)) shot[i] = !shot[i];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+QaoaResult run_qaoa(const Qubo& qubo, const Graph& coupling,
+                    const QaoaOptions& options, Rng& rng) {
+  QaoaResult result;
+  const std::size_t n = qubo.num_variables();
+  result.qubits = n;
+  const IsingModel ising = qubo_to_ising(qubo);
+
+  // Transpiled metrics come from a representative (parameter-independent)
+  // circuit: all QAOA iterations share gate structure, only angles differ
+  // (the paper makes the same observation for its depth measurements).
+  const std::vector<double> probe(static_cast<std::size_t>(2 * options.p), 0.5);
+  const Circuit logical = build_qaoa_circuit(ising, probe);
+  const auto transpiled = transpile(logical, coupling);
+  if (!transpiled) {
+    throw std::invalid_argument("run_qaoa: circuit does not fit the device");
+  }
+  result.depth = transpiled->depth;
+  result.cx_count = transpiled->cx_count;
+  result.swap_count = transpiled->swap_count;
+  result.qubits_touched = transpiled->qubits_touched;
+  const std::size_t n_1q =
+      transpiled->physical.num_gates() - transpiled->physical.num_two_qubit_gates();
+  result.fidelity = options.noise.fidelity(n_1q, result.cx_count);
+
+  if (n <= options.max_sim_qubits) {
+    result.mode = "statevector";
+    // Shot-based objective: mean sampled energy under the noise channel,
+    // exactly what the hardware loop would minimize.
+    auto sample_circuit = [&](const std::vector<double>& params,
+                              std::size_t shots) {
+      const Circuit circuit = build_qaoa_circuit(ising, params);
+      StateVector state(n);
+      circuit.run(state);
+      const auto basis = state.sample(shots, rng);
+      std::vector<std::vector<bool>> out;
+      out.reserve(basis.size());
+      for (std::uint64_t b : basis) out.push_back(bits_of(b, n));
+      apply_noise(out, result.fidelity, options.noise.readout_flip, rng);
+      return out;
+    };
+    const Objective objective = [&](const std::vector<double>& params) {
+      // A few hundred shots estimate the mean well enough for the outer
+      // loop; the final job uses the full shot budget.
+      const auto shots = sample_circuit(params, std::max<std::size_t>(
+                                                    256, options.shots / 8));
+      double mean = 0.0;
+      for (const auto& shot : shots) mean += qubo.energy(shot);
+      return mean / static_cast<double>(shots.size());
+    };
+    std::vector<double> x0(static_cast<std::size_t>(2 * options.p));
+    for (std::size_t i = 0; i < x0.size(); ++i) {
+      x0[i] = i % 2 == 0 ? 0.8 : 0.4;  // gamma, beta starting guesses
+    }
+    const OptimizeResult opt = nelder_mead(objective, x0, options.optimizer);
+    result.samples = sample_circuit(opt.x, options.shots);
+    result.num_jobs = opt.evaluations + 1;
+  } else {
+    // Boltzmann surrogate for circuits beyond the state-vector cutoff.
+    result.mode = "boltzmann-surrogate";
+    Qubo normalized = qubo;
+    const double scale = normalized.max_abs_coefficient();
+    if (scale > 0.0) normalized.scale(1.0 / scale);
+    const double beta = options.surrogate_beta;
+    auto samples = boltzmann_sample(normalized, beta, options.shots, rng);
+    result.samples.reserve(samples.size());
+    for (auto& s : samples) result.samples.push_back(std::move(s.x));
+    apply_noise(result.samples, result.fidelity, options.noise.readout_flip,
+                rng);
+    // The surrogate still "runs" the optimizer-equivalent number of jobs.
+    result.num_jobs = options.optimizer.max_evaluations + 1;
+  }
+
+  result.energies.reserve(result.samples.size());
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& s : result.samples) {
+    const double e = qubo.energy(s);
+    result.energies.push_back(e);
+    best = std::min(best, e);
+  }
+  result.best_energy = best;
+  return result;
+}
+
+}  // namespace nck

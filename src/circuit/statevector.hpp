@@ -1,0 +1,61 @@
+// Dense state-vector simulator for the circuit-model backend. Amplitudes
+// are stored with qubit 0 as the least significant bit of the basis index.
+// Gate kernels are OpenMP-parallel; practical up to ~24 qubits.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nck {
+
+class StateVector {
+ public:
+  using Amplitude = std::complex<double>;
+
+  /// Initializes |0...0>. Throws for num_qubits > kMaxQubits.
+  explicit StateVector(std::size_t num_qubits);
+
+  static constexpr std::size_t kMaxQubits = 26;
+
+  std::size_t num_qubits() const noexcept { return num_qubits_; }
+  std::size_t dimension() const noexcept { return amps_.size(); }
+
+  Amplitude amplitude(std::uint64_t basis) const { return amps_[basis]; }
+
+  /// Applies an arbitrary single-qubit unitary (row-major 2x2).
+  void apply_1q(std::size_t q, const Amplitude u[4]);
+
+  void h(std::size_t q);
+  void x(std::size_t q);
+  void rx(std::size_t q, double theta);
+  void ry(std::size_t q, double theta);
+  void rz(std::size_t q, double theta);
+
+  void cx(std::size_t control, std::size_t target);
+  void cz(std::size_t a, std::size_t b);
+  /// exp(-i theta/2 Z\otimes Z) — the QAOA cost-layer two-qubit gate.
+  void rzz(std::size_t a, std::size_t b, double theta);
+  /// exp(-i theta/4 (X\otimes X + Y\otimes Y)) — the number-preserving
+  /// "XY" / Givens mixing gate of the Quantum Alternating Operator Ansatz:
+  /// rotates within the {|01>, |10>} subspace, leaving |00> and |11> fixed.
+  void xy(std::size_t a, std::size_t b, double theta);
+  void swap(std::size_t a, std::size_t b);
+
+  /// Sum of |amplitude|^2 (1 for any unitary evolution; tested invariant).
+  double norm() const;
+
+  /// Probability of each basis state.
+  std::vector<double> probabilities() const;
+
+  /// Samples `shots` basis states i.i.d. from the output distribution.
+  std::vector<std::uint64_t> sample(std::size_t shots, Rng& rng) const;
+
+ private:
+  std::size_t num_qubits_;
+  std::vector<Amplitude> amps_;
+};
+
+}  // namespace nck

@@ -1,0 +1,213 @@
+#include "circuit/transpiler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+
+namespace nck {
+namespace {
+
+// BFS order over the largest connected component, starting from the
+// highest-degree vertex: a compact region for the initial layout.
+std::vector<Graph::Vertex> bfs_region(const Graph& coupling) {
+  const std::size_t n = coupling.num_vertices();
+  std::vector<bool> seen(n, false);
+  std::vector<Graph::Vertex> best_order;
+  for (std::size_t start = 0; start < n; ++start) {
+    if (seen[start]) continue;
+    // BFS from the highest-degree unvisited vertex of this component.
+    Graph::Vertex root = static_cast<Graph::Vertex>(start);
+    // (component discovery and ordering in one pass)
+    std::vector<Graph::Vertex> order;
+    std::queue<Graph::Vertex> queue;
+    queue.push(root);
+    seen[root] = true;
+    while (!queue.empty()) {
+      const Graph::Vertex v = queue.front();
+      queue.pop();
+      order.push_back(v);
+      // Deterministic neighbor order.
+      std::vector<Graph::Vertex> nbrs(coupling.neighbors(v).begin(),
+                                      coupling.neighbors(v).end());
+      std::sort(nbrs.begin(), nbrs.end());
+      for (Graph::Vertex w : nbrs) {
+        if (!seen[w]) {
+          seen[w] = true;
+          queue.push(w);
+        }
+      }
+    }
+    if (order.size() > best_order.size()) best_order = std::move(order);
+  }
+  return best_order;
+}
+
+// All-pairs unnecessary; per-routing-step we need shortest paths from one
+// vertex. Plain BFS since the coupling graph is unweighted.
+std::vector<Graph::Vertex> shortest_path(const Graph& g, Graph::Vertex from,
+                                         Graph::Vertex to) {
+  std::vector<std::int64_t> parent(g.num_vertices(), -1);
+  std::queue<Graph::Vertex> queue;
+  queue.push(from);
+  parent[from] = from;
+  while (!queue.empty()) {
+    const Graph::Vertex v = queue.front();
+    queue.pop();
+    if (v == to) break;
+    for (Graph::Vertex w : g.neighbors(v)) {
+      if (parent[w] == -1) {
+        parent[w] = v;
+        queue.push(w);
+      }
+    }
+  }
+  if (parent[to] == -1) return {};
+  std::vector<Graph::Vertex> path{to};
+  while (path.back() != from) {
+    path.push_back(static_cast<Graph::Vertex>(parent[path.back()]));
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+std::optional<TranspileResult> transpile(const Circuit& logical,
+                                         const Graph& coupling) {
+  const std::size_t n = logical.num_qubits();
+  const std::vector<Graph::Vertex> region = bfs_region(coupling);
+  if (region.size() < n) return std::nullopt;
+
+  // Interaction degree of each logical qubit (how many distinct partners).
+  std::vector<std::size_t> partners(n, 0);
+  {
+    std::vector<std::vector<bool>> seen(n, std::vector<bool>(n, false));
+    for (const Gate& g : logical.gates()) {
+      if (!g.two_qubit()) continue;
+      if (!seen[g.q0][g.q1]) {
+        seen[g.q0][g.q1] = seen[g.q1][g.q0] = true;
+        ++partners[g.q0];
+        ++partners[g.q1];
+      }
+    }
+  }
+  std::vector<std::uint32_t> logical_order(n);
+  std::iota(logical_order.begin(), logical_order.end(), 0);
+  std::sort(logical_order.begin(), logical_order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return partners[a] > partners[b];
+            });
+
+  // layout: logical -> physical; phys_to_logical: inverse (-1 = free).
+  std::vector<std::uint32_t> layout(n);
+  std::vector<std::int64_t> phys_to_logical(coupling.num_vertices(), -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    layout[logical_order[i]] = region[i];
+    phys_to_logical[region[i]] = logical_order[i];
+  }
+
+  TranspileResult result{Circuit(coupling.num_vertices()), layout, 0, 0, 0, 0};
+  Circuit& phys = result.physical;
+
+  auto apply_swap = [&](Graph::Vertex a, Graph::Vertex b) {
+    // SWAP in the CX basis.
+    phys.cx(a, b);
+    phys.cx(b, a);
+    phys.cx(a, b);
+    ++result.swap_count;
+    const std::int64_t la = phys_to_logical[a];
+    const std::int64_t lb = phys_to_logical[b];
+    if (la >= 0) layout[static_cast<std::size_t>(la)] = b;
+    if (lb >= 0) layout[static_cast<std::size_t>(lb)] = a;
+    std::swap(phys_to_logical[a], phys_to_logical[b]);
+  };
+
+  for (const Gate& g : logical.gates()) {
+    if (!g.two_qubit()) {
+      const Graph::Vertex p = layout[g.q0];
+      switch (g.kind) {
+        case GateKind::kH: phys.h(p); break;
+        case GateKind::kX: phys.x(p); break;
+        case GateKind::kRX: phys.rx(p, g.angle); break;
+        case GateKind::kRY: phys.ry(p, g.angle); break;
+        case GateKind::kRZ: phys.rz(p, g.angle); break;
+        default: break;
+      }
+      continue;
+    }
+    // Route q1's carrier next to q0's carrier.
+    Graph::Vertex pa = layout[g.q0];
+    Graph::Vertex pb = layout[g.q1];
+    if (!coupling.has_edge(pa, pb)) {
+      const auto path = shortest_path(coupling, pa, pb);
+      if (path.empty()) return std::nullopt;  // disconnected carriers
+      // Swap pb backwards along the path until adjacent to pa.
+      for (std::size_t i = path.size() - 1; i >= 2; --i) {
+        apply_swap(path[i], path[i - 1]);
+      }
+      pa = layout[g.q0];
+      pb = layout[g.q1];
+    }
+    switch (g.kind) {
+      case GateKind::kCX:
+        phys.cx(pa, pb);
+        break;
+      case GateKind::kCZ:
+        // CZ = H(target) CX H(target).
+        phys.h(pb);
+        phys.cx(pa, pb);
+        phys.h(pb);
+        break;
+      case GateKind::kRZZ:
+        // RZZ(theta) = CX RZ(theta) CX.
+        phys.cx(pa, pb);
+        phys.rz(pb, g.angle);
+        phys.cx(pa, pb);
+        break;
+      case GateKind::kXY: {
+        // XY(theta) = RXX(theta/2) RYY(theta/2); each factor is RZZ
+        // conjugated into the right basis (4 CX total).
+        const double half = g.angle / 2.0;
+        // RXX: H-conjugated RZZ.
+        phys.h(pa);
+        phys.h(pb);
+        phys.cx(pa, pb);
+        phys.rz(pb, half);
+        phys.cx(pa, pb);
+        phys.h(pa);
+        phys.h(pb);
+        // RYY: RX(pi/2)-conjugated RZZ.
+        phys.rx(pa, M_PI_2);
+        phys.rx(pb, M_PI_2);
+        phys.cx(pa, pb);
+        phys.rz(pb, half);
+        phys.cx(pa, pb);
+        phys.rx(pa, -M_PI_2);
+        phys.rx(pb, -M_PI_2);
+        break;
+      }
+      case GateKind::kSwap:
+        apply_swap(pa, pb);
+        --result.swap_count;  // explicit user swap, not routing overhead
+        break;
+      default:
+        break;
+    }
+  }
+
+  result.layout = layout;
+  result.depth = phys.depth();
+  result.cx_count = 0;
+  std::vector<bool> touched(coupling.num_vertices(), false);
+  for (const Gate& g : phys.gates()) {
+    if (g.kind == GateKind::kCX) ++result.cx_count;
+    touched[g.q0] = true;
+    if (g.two_qubit()) touched[g.q1] = true;
+  }
+  result.qubits_touched = static_cast<std::size_t>(
+      std::count(touched.begin(), touched.end(), true));
+  return result;
+}
+
+}  // namespace nck

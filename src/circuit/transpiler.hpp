@@ -1,0 +1,34 @@
+// Transpilation of a logical circuit onto a physical coupling map:
+//   1. initial layout — interaction-degree-ordered logical qubits placed on
+//      a BFS-ordered connected region of the device;
+//   2. routing — SWAPs inserted along shortest physical paths for every
+//      two-qubit gate between non-adjacent qubits (the compiler behaviour
+//      whose noise cost Section VIII-B discusses);
+//   3. basis decomposition — RZZ -> CX RZ CX, SWAP -> 3 CX, producing the
+//      {1q rotations, CX} basis of IBM backends.
+// The resulting physical depth and CX count drive the Figs 8-10 metrics and
+// the depolarizing noise model.
+#pragma once
+
+#include <optional>
+
+#include "circuit/circuit.hpp"
+#include "graph/graph.hpp"
+
+namespace nck {
+
+struct TranspileResult {
+  Circuit physical;                    // over physical qubit indices
+  std::vector<std::uint32_t> layout;   // logical -> physical
+  std::size_t depth = 0;               // physical circuit depth
+  std::size_t cx_count = 0;
+  std::size_t swap_count = 0;          // routing SWAPs inserted
+  std::size_t qubits_touched = 0;      // physical qubits with >= 1 gate
+};
+
+/// Transpiles `logical` for the `coupling` map. Returns std::nullopt when
+/// the device has fewer (connected) qubits than the circuit needs.
+std::optional<TranspileResult> transpile(const Circuit& logical,
+                                         const Graph& coupling);
+
+}  // namespace nck

@@ -1,0 +1,91 @@
+#include "core/compile.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace nck {
+
+double max_min_penalty(const SynthesizedQubo& synth) {
+  const std::size_t d = synth.num_vars;
+  const std::size_t a = synth.num_ancillas;
+  if (d + a > 24) {
+    throw std::invalid_argument("max_min_penalty: constraint too large");
+  }
+  double worst = 0.0;
+  std::vector<bool> bits(d + a);
+  for (std::uint32_t x = 0; x < (1u << d); ++x) {
+    double best = std::numeric_limits<double>::infinity();
+    for (std::uint32_t z = 0; z < (1u << a); ++z) {
+      const std::uint32_t full = x | (z << d);
+      for (std::size_t i = 0; i < d + a; ++i) bits[i] = (full >> i) & 1u;
+      best = std::min(best, synth.qubo.energy(bits));
+    }
+    worst = std::max(worst, best);
+  }
+  return worst;
+}
+
+CompiledQubo compile(const Env& env, SynthEngine& engine,
+                     const CompileOptions& options) {
+  CompiledQubo out;
+  out.num_problem_vars = env.num_vars();
+
+  // Pass 1: synthesize every constraint, instantiate soft ones at weight
+  // 1/gap (cheapest violation costs exactly 1), and collect hard ones with
+  // their gaps so they can be scaled afterwards.
+  struct PendingHard {
+    Qubo qubo;   // already remapped into program space
+    double gap;  // minimum violation energy at weight 1
+  };
+  std::vector<PendingHard> hard;
+  Qubo soft_sum(env.num_vars());
+  double max_soft_energy = 0.0;
+  std::size_t next_ancilla = env.num_vars();
+
+  for (const auto& c : env.constraints()) {
+    const SynthesizedQubo& synth = engine.synthesize(c.pattern());
+    // Mapping: pattern variable i -> program variable; ancillas -> fresh ids.
+    std::vector<Qubo::Var> mapping;
+    mapping.reserve(synth.num_vars + synth.num_ancillas);
+    for (VarId v : c.distinct_vars()) mapping.push_back(v);
+    for (std::size_t k = 0; k < synth.num_ancillas; ++k) {
+      mapping.push_back(static_cast<Qubo::Var>(next_ancilla++));
+    }
+    Qubo instantiated = synth.qubo.remapped(mapping);
+    if (c.soft()) {
+      if (synth.gap <= 0.0) {
+        throw std::runtime_error("compile: non-positive gap for " +
+                                 c.to_string(env.var_names()));
+      }
+      instantiated.scale(1.0 / synth.gap);
+      soft_sum += instantiated;
+      max_soft_energy += max_min_penalty(synth) / synth.gap;
+    } else {
+      hard.push_back({std::move(instantiated), synth.gap});
+    }
+  }
+
+  // Pass 2: hard constraints must dominate all soft energy. Scaling each by
+  // hard_scale / gap makes the cheapest hard violation cost
+  // max_soft_energy + hard_margin.
+  out.max_soft_energy = max_soft_energy;
+  out.hard_scale = max_soft_energy + options.hard_margin;
+  Qubo total(env.num_vars());
+  for (auto& h : hard) {
+    h.qubo.scale(out.hard_scale / h.gap);
+    total += h.qubo;
+  }
+  total += soft_sum;
+  total.resize(next_ancilla);  // declare trailing ancillas even if untouched
+  out.qubo = std::move(total);
+  out.num_ancillas = next_ancilla - env.num_vars();
+  return out;
+}
+
+CompiledQubo compile(const Env& env, const CompileOptions& options) {
+  SynthEngine engine;
+  return compile(env, engine, options);
+}
+
+}  // namespace nck

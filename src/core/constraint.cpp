@@ -1,0 +1,91 @@
+#include "core/constraint.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace nck {
+
+Constraint::Constraint(std::vector<VarId> collection,
+                       std::set<unsigned> selection, ConstraintKind kind)
+    : collection_(std::move(collection)),
+      selection_(std::move(selection)),
+      kind_(kind) {
+  if (collection_.empty()) {
+    throw std::invalid_argument("Constraint: empty variable collection");
+  }
+  if (selection_.empty()) {
+    throw std::invalid_argument("Constraint: empty selection set");
+  }
+  for (unsigned k : selection_) {
+    if (k > collection_.size()) {
+      throw std::invalid_argument(
+          "Constraint: selection value exceeds collection cardinality");
+    }
+  }
+  std::map<VarId, unsigned> mults;
+  for (VarId v : collection_) ++mults[v];
+  std::vector<std::pair<unsigned, VarId>> order;
+  order.reserve(mults.size());
+  for (const auto& [v, m] : mults) order.emplace_back(m, v);
+  std::sort(order.begin(), order.end());
+  for (const auto& [m, v] : order) {
+    distinct_.push_back(v);
+    multiplicity_.push_back(m);
+  }
+}
+
+ConstraintPattern Constraint::pattern() const {
+  return ConstraintPattern(multiplicity_, selection_);
+}
+
+std::string Constraint::symmetry_key() const {
+  std::ostringstream os;
+  os << (soft() ? "s" : "h") << "|n:" << cardinality() << "|k:";
+  bool first = true;
+  for (unsigned k : selection_) {
+    if (!first) os << ',';
+    os << k;
+    first = false;
+  }
+  return os.str();
+}
+
+bool Constraint::satisfied(const std::vector<bool>& assignment) const {
+  unsigned count = 0;
+  for (VarId v : collection_) {
+    if (v >= assignment.size()) {
+      throw std::out_of_range("Constraint::satisfied: assignment too short");
+    }
+    if (assignment[v]) ++count;
+  }
+  return selection_.count(count) > 0;
+}
+
+std::string Constraint::to_string(
+    const std::vector<std::string>& var_names) const {
+  auto name = [&](VarId v) {
+    if (v < var_names.size() && !var_names[v].empty()) return var_names[v];
+    return "v" + std::to_string(v);
+  };
+  std::ostringstream os;
+  os << "nck({";
+  for (std::size_t i = 0; i < collection_.size(); ++i) {
+    if (i) os << ", ";
+    os << name(collection_[i]);
+  }
+  os << "}, {";
+  bool first = true;
+  for (unsigned k : selection_) {
+    if (!first) os << ", ";
+    os << k;
+    first = false;
+  }
+  os << "}";
+  if (soft()) os << ", soft";
+  os << ")";
+  return os.str();
+}
+
+}  // namespace nck

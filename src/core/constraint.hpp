@@ -1,0 +1,69 @@
+// NchooseK constraints (Definitions 1-6 of the paper).
+//
+// A constraint nck(N, K) over a variable collection N (repetition allowed,
+// order irrelevant) and selection set K is satisfied when the number of
+// TRUE variables in N, counted with multiplicity, is a member of K.
+// A constraint may be *hard* (must hold) or *soft* (desired; executions
+// maximize the number of satisfied soft constraints).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "synth/pattern.hpp"
+
+namespace nck {
+
+using VarId = std::uint32_t;
+
+enum class ConstraintKind { kHard, kSoft };
+
+class Constraint {
+ public:
+  /// `collection` may contain repeated variable ids; `selection` values must
+  /// not exceed the collection's cardinality (checked here).
+  Constraint(std::vector<VarId> collection, std::set<unsigned> selection,
+             ConstraintKind kind);
+
+  const std::vector<VarId>& collection() const noexcept { return collection_; }
+  const std::set<unsigned>& selection() const noexcept { return selection_; }
+  ConstraintKind kind() const noexcept { return kind_; }
+  bool soft() const noexcept { return kind_ == ConstraintKind::kSoft; }
+
+  /// Cardinality of the collection (with repetitions).
+  std::size_t cardinality() const noexcept { return collection_.size(); }
+
+  /// Distinct variables in canonical (pattern) order: sorted by ascending
+  /// multiplicity, ties broken by variable id. Index i here corresponds to
+  /// QUBO variable i of the synthesized pattern QUBO.
+  const std::vector<VarId>& distinct_vars() const noexcept { return distinct_; }
+
+  /// Canonical synthesis pattern (multiplicities sorted ascending, matching
+  /// distinct_vars order).
+  ConstraintPattern pattern() const;
+
+  /// Symmetry class per Definition 7: two constraints are symmetric iff they
+  /// share the selection set and collection cardinality (and, in this
+  /// implementation, hardness). The key is stable across runs.
+  std::string symmetry_key() const;
+
+  /// Does the assignment satisfy the constraint? `assignment[v]` must be
+  /// valid for every v in the collection.
+  bool satisfied(const std::vector<bool>& assignment) const;
+
+  /// Renders as e.g. "nck({x1, x2, x2}, {0, 2}, soft)" using the given
+  /// name lookup.
+  std::string to_string(
+      const std::vector<std::string>& var_names = {}) const;
+
+ private:
+  std::vector<VarId> collection_;
+  std::set<unsigned> selection_;
+  ConstraintKind kind_;
+  std::vector<VarId> distinct_;        // canonical order (see distinct_vars)
+  std::vector<unsigned> multiplicity_;  // parallel to distinct_
+};
+
+}  // namespace nck

@@ -1,0 +1,199 @@
+#include "core/parse.hpp"
+
+#include <cctype>
+#include <istream>
+#include <sstream>
+
+namespace nck {
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  // Token kinds: punctuation chars '(' ')' '{' '}' ',', the "/\" separator
+  // ('&'), identifiers ('i'), integers ('n'), end ('$').
+  struct Token {
+    char kind;
+    std::string text;
+    std::size_t line;
+    std::size_t column;
+  };
+
+  Token next() {
+    skip_space_and_comments();
+    const std::size_t line = line_, column = column_;
+    if (pos_ >= text_.size()) return {'$', "", line, column};
+    const char c = text_[pos_];
+    if (c == '(' || c == ')' || c == '{' || c == '}' || c == ',') {
+      advance();
+      return {c, std::string(1, c), line, column};
+    }
+    if (c == '/' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '\\') {
+      advance();
+      advance();
+      return {'&', "/\\", line, column};
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string number;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        number.push_back(text_[pos_]);
+        advance();
+      }
+      return {'n', std::move(number), line, column};
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string ident;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        ident.push_back(text_[pos_]);
+        advance();
+      }
+      return {'i', std::move(ident), line, column};
+    }
+    fail("unexpected character '" + std::string(1, c) + "'", line, column);
+  }
+
+  [[noreturn]] static void fail(const std::string& what, std::size_t line,
+                                std::size_t column) {
+    std::ostringstream os;
+    os << "parse error at line " << line << ", column " << column << ": "
+       << what;
+    throw ParseError(os.str());
+  }
+
+ private:
+  void advance() {
+    if (text_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    ++pos_;
+  }
+
+  void skip_space_and_comments() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        advance();
+      } else if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t column_ = 1;
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : lexer_(text) { shift(); }
+
+  Env parse() {
+    Env env;
+    bool first = true;
+    while (current_.kind != '$') {
+      if (!first) {
+        // Separators between constraints are optional; consume if present.
+        if (current_.kind == '&') shift();
+        if (current_.kind == '$') break;
+      }
+      parse_constraint(env);
+      first = false;
+    }
+    return env;
+  }
+
+ private:
+  void shift() { current_ = lexer_.next(); }
+
+  void expect(char kind, const char* what) {
+    if (current_.kind != kind) {
+      Lexer::fail(std::string("expected ") + what + ", got '" + current_.text +
+                      "'",
+                  current_.line, current_.column);
+    }
+    shift();
+  }
+
+  void parse_constraint(Env& env) {
+    if (current_.kind != 'i' || current_.text != "nck") {
+      Lexer::fail("expected 'nck', got '" + current_.text + "'",
+                  current_.line, current_.column);
+    }
+    shift();
+    expect('(', "'('");
+    expect('{', "'{'");
+    std::vector<VarId> collection;
+    for (;;) {
+      if (current_.kind != 'i') {
+        Lexer::fail("expected variable name, got '" + current_.text + "'",
+                    current_.line, current_.column);
+      }
+      collection.push_back(env.var(current_.text));
+      shift();
+      if (current_.kind == ',') {
+        shift();
+        continue;
+      }
+      break;
+    }
+    expect('}', "'}'");
+    expect(',', "','");
+    expect('{', "'{'");
+    std::set<unsigned> selection;
+    for (;;) {
+      if (current_.kind != 'n') {
+        Lexer::fail("expected selection number, got '" + current_.text + "'",
+                    current_.line, current_.column);
+      }
+      selection.insert(static_cast<unsigned>(std::stoul(current_.text)));
+      shift();
+      if (current_.kind == ',') {
+        shift();
+        continue;
+      }
+      break;
+    }
+    expect('}', "'}'");
+    ConstraintKind kind = ConstraintKind::kHard;
+    if (current_.kind == ',') {
+      shift();
+      if (current_.kind == 'i' && current_.text == "soft") {
+        kind = ConstraintKind::kSoft;
+        shift();
+      } else if (current_.kind == 'i' && current_.text == "hard") {
+        shift();
+      } else {
+        Lexer::fail("expected 'soft' or 'hard', got '" + current_.text + "'",
+                    current_.line, current_.column);
+      }
+    }
+    expect(')', "')'");
+    env.nck(std::move(collection), std::move(selection), kind);
+  }
+
+  Lexer lexer_;
+  Lexer::Token current_{'$', "", 0, 0};
+};
+
+}  // namespace
+
+Env parse_program(const std::string& text) { return Parser(text).parse(); }
+
+Env parse_program(std::istream& in) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_program(buffer.str());
+}
+
+}  // namespace nck

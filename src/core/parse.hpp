@@ -1,0 +1,35 @@
+// Text format for NchooseK programs, matching Env::to_string():
+//
+//   # comments run to end of line
+//   nck({a, b}, {0, 1}) /\
+//   nck({b, c}, {1})    /\
+//   nck({a}, {0}, soft)
+//
+// Variables are created on first mention (repetition inside a collection is
+// allowed and meaningful, per Definition 1). The "/\" conjunction separators
+// and newlines between constraints are interchangeable.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "core/env.hpp"
+
+namespace nck {
+
+/// Thrown on malformed program text; message carries line/column context.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+/// Parses a full program. Throws ParseError on syntax errors and
+/// std::invalid_argument on semantic ones (e.g. selection > cardinality).
+Env parse_program(const std::string& text);
+
+/// Reads the whole stream and parses it.
+Env parse_program(std::istream& in);
+
+}  // namespace nck

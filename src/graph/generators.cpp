@@ -1,0 +1,184 @@
+#include "graph/generators.hpp"
+
+#include <stdexcept>
+
+namespace nck {
+
+Graph circulant_graph(std::size_t n, std::span<const std::size_t> offsets) {
+  Graph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t o : offsets) {
+      if (o == 0 || o >= n) continue;
+      g.add_edge(static_cast<Graph::Vertex>(i),
+                 static_cast<Graph::Vertex>((i + o) % n));
+    }
+  }
+  return g;
+}
+
+Graph circulant_graph(std::size_t n, std::size_t degree) {
+  if (degree % 2 != 0) {
+    throw std::invalid_argument("circulant_graph: degree must be even");
+  }
+  std::vector<std::size_t> offsets;
+  for (std::size_t o = 1; o <= degree / 2; ++o) offsets.push_back(o);
+  return circulant_graph(n, offsets);
+}
+
+Graph vertex_scaling_graph(std::size_t num_vertices) {
+  if (num_vertices == 0 || num_vertices % 3 != 0) {
+    throw std::invalid_argument(
+        "vertex_scaling_graph: size must be a positive multiple of 3");
+  }
+  Graph g(num_vertices);
+  const std::size_t num_cliques = num_vertices / 3;
+  for (std::size_t c = 0; c < num_cliques; ++c) {
+    const auto base = static_cast<Graph::Vertex>(3 * c);
+    g.add_edge(base, base + 1);
+    g.add_edge(base, base + 2);
+    g.add_edge(base + 1, base + 2);
+    if (c > 0) {
+      // Two edges back to the previous triangle, per Section VII.
+      g.add_edge(base - 3, base);
+      g.add_edge(base - 2, base + 1);
+    }
+  }
+  return g;
+}
+
+Graph edge_scaling_graph(std::size_t extra_edges) {
+  constexpr std::size_t kVertices = 12;
+  Graph g(kVertices);
+  // Four disjoint triangles: {0,1,2} {3,4,5} {6,7,8} {9,10,11}.
+  for (std::size_t c = 0; c < 4; ++c) {
+    const auto base = static_cast<Graph::Vertex>(3 * c);
+    g.add_edge(base, base + 1);
+    g.add_edge(base, base + 2);
+    g.add_edge(base + 1, base + 2);
+  }
+  // Deterministic inter-clique fill: iterate over vertex pairs grouped by
+  // clique distance so early extra edges connect neighbouring triangles
+  // (mirroring the paper's 18-edge starting point of 12 + 6 connectors).
+  std::size_t added = 0;
+  for (std::size_t stride = 1; stride < 4 && added < extra_edges; ++stride) {
+    for (std::size_t c = 0; c + stride < 4 && added < extra_edges; ++c) {
+      for (std::size_t i = 0; i < 3 && added < extra_edges; ++i) {
+        for (std::size_t j = 0; j < 3 && added < extra_edges; ++j) {
+          const auto u = static_cast<Graph::Vertex>(3 * c + i);
+          const auto v = static_cast<Graph::Vertex>(3 * (c + stride) + j);
+          if (g.add_edge(u, v)) ++added;
+        }
+      }
+    }
+  }
+  return g;
+}
+
+Graph random_gnm(std::size_t n, std::size_t m, Rng& rng) {
+  const std::size_t max_edges = n * (n - 1) / 2;
+  if (m > max_edges) {
+    throw std::invalid_argument("random_gnm: too many edges requested");
+  }
+  Graph g(n);
+  std::size_t added = 0;
+  while (added < m) {
+    const auto u = static_cast<Graph::Vertex>(rng.below(n));
+    const auto v = static_cast<Graph::Vertex>(rng.below(n));
+    if (u != v && g.add_edge(u, v)) ++added;
+  }
+  return g;
+}
+
+Graph random_connected_gnm(std::size_t n, std::size_t m, Rng& rng) {
+  if (n > 0 && m + 1 < n) {
+    throw std::invalid_argument("random_connected_gnm: m < n - 1");
+  }
+  const std::size_t max_edges = n * (n - 1) / 2;
+  if (m > max_edges) {
+    throw std::invalid_argument("random_connected_gnm: too many edges");
+  }
+  Graph g(n);
+  // Random spanning tree: attach each new vertex to a random earlier one.
+  std::vector<Graph::Vertex> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<Graph::Vertex>(i);
+  rng.shuffle(order);
+  for (std::size_t i = 1; i < n; ++i) {
+    g.add_edge(order[i], order[rng.below(i)]);
+  }
+  std::size_t added = n > 0 ? n - 1 : 0;
+  while (added < m) {
+    const auto u = static_cast<Graph::Vertex>(rng.below(n));
+    const auto v = static_cast<Graph::Vertex>(rng.below(n));
+    if (u != v && g.add_edge(u, v)) ++added;
+  }
+  return g;
+}
+
+Graph complete_graph(std::size_t n) {
+  Graph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      g.add_edge(static_cast<Graph::Vertex>(i), static_cast<Graph::Vertex>(j));
+    }
+  }
+  return g;
+}
+
+Graph cycle_graph(std::size_t n) {
+  Graph g(n);
+  if (n < 3) {
+    if (n == 2) g.add_edge(0, 1);
+    return g;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    g.add_edge(static_cast<Graph::Vertex>(i),
+               static_cast<Graph::Vertex>((i + 1) % n));
+  }
+  return g;
+}
+
+Graph path_graph(std::size_t n) {
+  Graph g(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    g.add_edge(static_cast<Graph::Vertex>(i), static_cast<Graph::Vertex>(i + 1));
+  }
+  return g;
+}
+
+Graph star_graph(std::size_t n) {
+  Graph g(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    g.add_edge(0, static_cast<Graph::Vertex>(i));
+  }
+  return g;
+}
+
+Graph grid_graph(std::size_t rows, std::size_t cols) {
+  Graph g(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<Graph::Vertex>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+Graph region_map_graph(std::size_t rows, std::size_t cols, double diag_p,
+                       Rng& rng) {
+  Graph g = grid_graph(rows, cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<Graph::Vertex>(r * cols + c);
+  };
+  for (std::size_t r = 0; r + 1 < rows; ++r) {
+    for (std::size_t c = 0; c + 1 < cols; ++c) {
+      if (rng.bernoulli(diag_p)) g.add_edge(id(r, c), id(r + 1, c + 1));
+    }
+  }
+  return g;
+}
+
+}  // namespace nck

@@ -1,0 +1,60 @@
+// Graph and instance generators matching the paper's experimental setup
+// (Section VII): circulant graphs for the Z3 timing study (Fig 12), the
+// vertex-scaling study (cliques of three chained by two edges), and the
+// edge-scaling study (12 vertices, growing edge count).
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace nck {
+
+/// Circulant graph C_n(offsets): vertex i is adjacent to i +- o (mod n)
+/// for each offset o. Used for the minimum-vertex-cover Z3 scaling study;
+/// offsets {1, 2, ..., d/2} gives a degree-d circulant as in Fig 12.
+Graph circulant_graph(std::size_t n, std::span<const std::size_t> offsets);
+
+/// Degree-d circulant with offsets 1..d/2 (d must be even, d < n).
+Graph circulant_graph(std::size_t n, std::size_t degree);
+
+/// The paper's vertex-scaling family: starts from one triangle (3-clique);
+/// each growth step appends another triangle connected to the previous one
+/// by two edges, up to `num_vertices` (must be a positive multiple of 3).
+Graph vertex_scaling_graph(std::size_t num_vertices);
+
+/// The paper's edge-scaling family: 12 vertices arranged as four disjoint
+/// triangles (coverable by 4 cliques, 12 intra-clique edges is 12... the
+/// paper starts from 18 edges), then `extra_edges` additional edges added
+/// deterministically between cliques in round-robin order. Total edges is
+/// 12 + extra_edges, capped at the complete graph.
+Graph edge_scaling_graph(std::size_t extra_edges);
+
+/// Erdos-Renyi G(n, m): n vertices, m distinct random edges.
+Graph random_gnm(std::size_t n, std::size_t m, Rng& rng);
+
+/// Random connected G(n, m): builds a random spanning tree first.
+/// Requires m >= n - 1.
+Graph random_connected_gnm(std::size_t n, std::size_t m, Rng& rng);
+
+/// Complete graph K_n.
+Graph complete_graph(std::size_t n);
+
+/// Cycle C_n.
+Graph cycle_graph(std::size_t n);
+
+/// Path P_n.
+Graph path_graph(std::size_t n);
+
+/// Star S_n (vertex 0 is the hub, n total vertices).
+Graph star_graph(std::size_t n);
+
+/// 2D grid graph with `rows` x `cols` vertices.
+Graph grid_graph(std::size_t rows, std::size_t cols);
+
+/// A planar-style "map" for the map-coloring experiments: a rows x cols grid
+/// of regions where each region is adjacent to its right/down neighbours and,
+/// with probability `diag_p`, the down-right diagonal (still 4-colorable).
+Graph region_map_graph(std::size_t rows, std::size_t cols, double diag_p,
+                       Rng& rng);
+
+}  // namespace nck

@@ -1,0 +1,143 @@
+#include "problems/coloring.hpp"
+
+#include "graph/algorithms.hpp"
+
+namespace nck {
+namespace {
+
+// Shared one-hot encoder: exactly-one color per vertex, plus "not both"
+// constraints for every (conflict edge, color) pair.
+Env encode_one_hot(const Graph& graph, int num_colors,
+                   const std::vector<Graph::Edge>& conflicts) {
+  Env env;
+  const std::size_t n = graph.num_vertices();
+  std::vector<std::vector<VarId>> vars(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (int c = 0; c < num_colors; ++c) {
+      vars[v].push_back(
+          env.new_var("v" + std::to_string(v) + "_c" + std::to_string(c)));
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) env.exactly(vars[v], 1);
+  for (const auto& [u, v] : conflicts) {
+    for (int c = 0; c < num_colors; ++c) {
+      env.nck({vars[u][static_cast<std::size_t>(c)],
+               vars[v][static_cast<std::size_t>(c)]},
+              {0, 1});
+    }
+  }
+  return env;
+}
+
+Qubo one_hot_qubo(const Graph& graph, int num_colors,
+                  const std::vector<Graph::Edge>& conflicts) {
+  const std::size_t n = graph.num_vertices();
+  const auto id = [num_colors](std::size_t v, int c) {
+    return static_cast<Qubo::Var>(v * static_cast<std::size_t>(num_colors) +
+                                  static_cast<std::size_t>(c));
+  };
+  Qubo q(n * static_cast<std::size_t>(num_colors));
+  for (std::size_t v = 0; v < n; ++v) {
+    // (1 - sum_i x)^2 = 1 - 2 sum x + (sum x)^2; with x^2 == x this is
+    // 1 - sum_i x_i + 2 sum_{i<j} x_i x_j.
+    q.add_offset(1.0);
+    for (int c = 0; c < num_colors; ++c) {
+      q.add_linear(id(v, c), -1.0);
+      for (int c2 = c + 1; c2 < num_colors; ++c2) {
+        q.add_quadratic(id(v, c), id(v, c2), 2.0);
+      }
+    }
+  }
+  for (const auto& [u, v] : conflicts) {
+    for (int c = 0; c < num_colors; ++c) {
+      q.add_quadratic(id(u, c), id(v, c), 1.0);
+    }
+  }
+  return q;
+}
+
+}  // namespace
+
+std::optional<std::vector<int>> decode_one_hot(
+    const std::vector<bool>& assignment, std::size_t num_vertices,
+    std::size_t num_colors) {
+  if (assignment.size() < num_vertices * num_colors) return std::nullopt;
+  std::vector<int> colors(num_vertices, -1);
+  for (std::size_t v = 0; v < num_vertices; ++v) {
+    for (std::size_t c = 0; c < num_colors; ++c) {
+      if (assignment[v * num_colors + c]) {
+        if (colors[v] != -1) return std::nullopt;  // two colors set
+        colors[v] = static_cast<int>(c);
+      }
+    }
+    if (colors[v] == -1) return std::nullopt;  // no color set
+  }
+  return colors;
+}
+
+Env MapColoringProblem::encode() const {
+  return encode_one_hot(graph, num_colors,
+                        {graph.edges().begin(), graph.edges().end()});
+}
+
+Qubo MapColoringProblem::handcrafted_qubo() const {
+  return one_hot_qubo(graph, num_colors,
+                      {graph.edges().begin(), graph.edges().end()});
+}
+
+Qubo MapColoringProblem::conflict_qubo() const {
+  const auto id = [this](std::size_t v, int c) {
+    return static_cast<Qubo::Var>(v * static_cast<std::size_t>(num_colors) +
+                                  static_cast<std::size_t>(c));
+  };
+  Qubo q(graph.num_vertices() * static_cast<std::size_t>(num_colors));
+  for (const auto& [u, v] : graph.edges()) {
+    for (int c = 0; c < num_colors; ++c) {
+      q.add_quadratic(id(u, c), id(v, c), 1.0);
+    }
+  }
+  return q;
+}
+
+std::vector<std::vector<Qubo::Var>> MapColoringProblem::one_hot_groups()
+    const {
+  std::vector<std::vector<Qubo::Var>> groups(graph.num_vertices());
+  for (std::size_t v = 0; v < graph.num_vertices(); ++v) {
+    for (int c = 0; c < num_colors; ++c) {
+      groups[v].push_back(
+          static_cast<Qubo::Var>(v * static_cast<std::size_t>(num_colors) +
+                                 static_cast<std::size_t>(c)));
+    }
+  }
+  return groups;
+}
+
+bool MapColoringProblem::verify(const std::vector<bool>& assignment) const {
+  const auto colors = decode_one_hot(assignment, graph.num_vertices(),
+                                     static_cast<std::size_t>(num_colors));
+  return colors && is_proper_coloring(graph, *colors, num_colors);
+}
+
+bool MapColoringProblem::feasible() const {
+  return k_colorable(graph, num_colors);
+}
+
+Env CliqueCoverProblem::encode() const {
+  return encode_one_hot(graph, num_cliques, graph.complement_edges());
+}
+
+Qubo CliqueCoverProblem::handcrafted_qubo() const {
+  return one_hot_qubo(graph, num_cliques, graph.complement_edges());
+}
+
+bool CliqueCoverProblem::verify(const std::vector<bool>& assignment) const {
+  const auto colors = decode_one_hot(assignment, graph.num_vertices(),
+                                     static_cast<std::size_t>(num_cliques));
+  return colors && is_clique_cover(graph, *colors, num_cliques);
+}
+
+bool CliqueCoverProblem::feasible() const {
+  return clique_coverable(graph, num_cliques);
+}
+
+}  // namespace nck

@@ -1,0 +1,60 @@
+// One-hot graph coloring problems (Sections VI-A-d and VI-A-e).
+//
+// Map Coloring (NP-complete): vertex v gets variables v_1..v_n (one per
+// color); hard nck({v_1..v_n}, {1}) per vertex; hard nck({u_i, v_i}, {0,1})
+// per edge per color. Clique Cover (NP-complete) is identical except the
+// per-color constraints run over the *complement* edges (non-adjacent
+// vertices must not share a color class, since classes must be cliques).
+#pragma once
+
+#include <optional>
+
+#include "core/env.hpp"
+#include "graph/graph.hpp"
+#include "qubo/qubo.hpp"
+
+namespace nck {
+
+/// Decodes a one-hot block assignment: variable layout v * num_colors + c.
+/// Returns std::nullopt if any vertex has no color or multiple colors set
+/// (an invalid one-hot state — counts as an incorrect result).
+std::optional<std::vector<int>> decode_one_hot(
+    const std::vector<bool>& assignment, std::size_t num_vertices,
+    std::size_t num_colors);
+
+struct MapColoringProblem {
+  Graph graph;
+  int num_colors = 4;
+
+  Env encode() const;
+
+  /// Handcrafted one-hot QUBO:
+  ///   sum_v (1 - sum_i x_{v,i})^2 + sum_{(uv) in E} sum_i x_{u,i} x_{v,i}.
+  Qubo handcrafted_qubo() const;
+
+  /// Only the edge-conflict terms (for mixers that enforce one-hot
+  /// structure themselves, e.g. the XY Alternating Operator Ansatz).
+  Qubo conflict_qubo() const;
+
+  /// The per-vertex one-hot variable groups (variable layout
+  /// v * num_colors + c).
+  std::vector<std::vector<Qubo::Var>> one_hot_groups() const;
+
+  bool verify(const std::vector<bool>& assignment) const;
+  bool feasible() const;  // is the graph num_colors-colorable?
+};
+
+struct CliqueCoverProblem {
+  Graph graph;
+  int num_cliques = 3;
+
+  Env encode() const;
+
+  /// Handcrafted QUBO: one-hot penalty plus complement-edge conflicts.
+  Qubo handcrafted_qubo() const;
+
+  bool verify(const std::vector<bool>& assignment) const;
+  bool feasible() const;  // coverable by num_cliques cliques?
+};
+
+}  // namespace nck

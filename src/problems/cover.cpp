@@ -1,0 +1,202 @@
+#include "problems/cover.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nck {
+
+std::vector<std::size_t> SetSystem::covering(std::size_t element) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < subsets.size(); ++i) {
+    if (std::binary_search(subsets[i].begin(), subsets[i].end(), element)) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+SetSystem random_set_system(std::size_t num_elements,
+                            std::size_t partition_blocks,
+                            std::size_t extra_subsets, Rng& rng) {
+  if (partition_blocks == 0 || partition_blocks > num_elements) {
+    throw std::invalid_argument("random_set_system: bad partition_blocks");
+  }
+  SetSystem system;
+  system.num_elements = num_elements;
+  // Random partition: shuffle elements, split into blocks (each non-empty).
+  std::vector<std::size_t> elements(num_elements);
+  for (std::size_t i = 0; i < num_elements; ++i) elements[i] = i;
+  rng.shuffle(elements);
+  std::vector<std::vector<std::size_t>> blocks(partition_blocks);
+  for (std::size_t i = 0; i < num_elements; ++i) {
+    // First give each block one element, then distribute the rest randomly.
+    const std::size_t b = i < partition_blocks
+                              ? i
+                              : static_cast<std::size_t>(
+                                    rng.below(partition_blocks));
+    blocks[b].push_back(elements[i]);
+  }
+  for (auto& block : blocks) {
+    std::sort(block.begin(), block.end());
+    system.subsets.push_back(std::move(block));
+  }
+  // Extra random subsets (size 1..num_elements/2, at least 1).
+  const std::size_t max_size = std::max<std::size_t>(1, num_elements / 2);
+  for (std::size_t s = 0; s < extra_subsets; ++s) {
+    const std::size_t size =
+        1 + static_cast<std::size_t>(rng.below(max_size));
+    std::vector<std::size_t> pool(num_elements);
+    for (std::size_t i = 0; i < num_elements; ++i) pool[i] = i;
+    rng.shuffle(pool);
+    pool.resize(size);
+    std::sort(pool.begin(), pool.end());
+    system.subsets.push_back(std::move(pool));
+  }
+  return system;
+}
+
+Env ExactCoverProblem::encode() const {
+  Env env;
+  const auto vars = env.new_vars(system.subsets.size(), "s");
+  for (std::size_t e = 0; e < system.num_elements; ++e) {
+    std::vector<VarId> collection;
+    for (std::size_t i : system.covering(e)) collection.push_back(vars[i]);
+    if (collection.empty()) {
+      throw std::invalid_argument("ExactCover: element in no subset");
+    }
+    env.exactly(collection, 1);
+  }
+  return env;
+}
+
+Qubo ExactCoverProblem::handcrafted_qubo() const {
+  Qubo q(system.subsets.size());
+  for (std::size_t e = 0; e < system.num_elements; ++e) {
+    const auto cover = system.covering(e);
+    // (1 - sum x)^2 = 1 - sum x + 2 sum_{i<j} x_i x_j (binary x).
+    q.add_offset(1.0);
+    for (std::size_t a = 0; a < cover.size(); ++a) {
+      q.add_linear(static_cast<Qubo::Var>(cover[a]), -1.0);
+      for (std::size_t b = a + 1; b < cover.size(); ++b) {
+        q.add_quadratic(static_cast<Qubo::Var>(cover[a]),
+                        static_cast<Qubo::Var>(cover[b]), 2.0);
+      }
+    }
+  }
+  return q;
+}
+
+bool ExactCoverProblem::verify(const std::vector<bool>& chosen) const {
+  for (std::size_t e = 0; e < system.num_elements; ++e) {
+    std::size_t count = 0;
+    for (std::size_t i : system.covering(e)) {
+      if (chosen[i]) ++count;
+    }
+    if (count != 1) return false;
+  }
+  return true;
+}
+
+Env MinSetCoverProblem::encode() const {
+  Env env;
+  const auto vars = env.new_vars(system.subsets.size(), "s");
+  for (std::size_t e = 0; e < system.num_elements; ++e) {
+    std::vector<VarId> collection;
+    for (std::size_t i : system.covering(e)) collection.push_back(vars[i]);
+    if (collection.empty()) {
+      throw std::invalid_argument("MinSetCover: element in no subset");
+    }
+    env.at_least(collection, 1);
+  }
+  for (VarId v : vars) env.prefer_false(v);
+  return env;
+}
+
+Qubo MinSetCoverProblem::handcrafted_qubo() const {
+  // Lucas 5.1: for each element e with coverage set C_e, counter variables
+  // y_{e,m} for m = 1..|C_e| one-hot encode "e is covered m times":
+  //   H_A = A sum_e [ (1 - sum_m y_{e,m})^2
+  //                   + (sum_m m y_{e,m} - sum_{i in C_e} x_i)^2 ]
+  //   H_B = B sum_i x_i.
+  constexpr double kA = 2.0;
+  constexpr double kB = 1.0;
+  const std::size_t num_subsets = system.subsets.size();
+  Qubo q;
+  // Layout: x_i at [0, N); y_{e,m} appended per element.
+  q.resize(num_subsets);
+  Qubo::Var next = static_cast<Qubo::Var>(num_subsets);
+  for (std::size_t e = 0; e < system.num_elements; ++e) {
+    const auto cover = system.covering(e);
+    const std::size_t kmax = cover.size();
+    std::vector<Qubo::Var> y;
+    for (std::size_t m = 0; m < kmax; ++m) y.push_back(next++);
+
+    // (1 - sum y)^2.
+    q.add_offset(kA);
+    for (std::size_t a = 0; a < y.size(); ++a) {
+      q.add_linear(y[a], -kA);
+      for (std::size_t b = a + 1; b < y.size(); ++b) {
+        q.add_quadratic(y[a], y[b], 2.0 * kA);
+      }
+    }
+    // (sum_m (m+1) y_m - sum x)^2 expanded with binary squares.
+    std::vector<std::pair<Qubo::Var, double>> terms;
+    for (std::size_t m = 0; m < y.size(); ++m) {
+      terms.emplace_back(y[m], static_cast<double>(m + 1));
+    }
+    for (std::size_t i : cover) {
+      terms.emplace_back(static_cast<Qubo::Var>(i), -1.0);
+    }
+    for (std::size_t a = 0; a < terms.size(); ++a) {
+      q.add_linear(terms[a].first, kA * terms[a].second * terms[a].second);
+      for (std::size_t b = a + 1; b < terms.size(); ++b) {
+        q.add_quadratic(terms[a].first, terms[b].first,
+                        2.0 * kA * terms[a].second * terms[b].second);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < num_subsets; ++i) {
+    q.add_linear(static_cast<Qubo::Var>(i), kB);
+  }
+  return q;
+}
+
+bool MinSetCoverProblem::verify(const std::vector<bool>& chosen) const {
+  for (std::size_t e = 0; e < system.num_elements; ++e) {
+    bool covered = false;
+    for (std::size_t i : system.covering(e)) {
+      if (chosen[i]) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+std::size_t MinSetCoverProblem::cover_size(
+    const std::vector<bool>& chosen) const {
+  return static_cast<std::size_t>(
+      std::count(chosen.begin(), chosen.end(), true));
+}
+
+std::size_t MinSetCoverProblem::optimal_cover_size() const {
+  const std::size_t n = system.subsets.size();
+  if (n > 24) {
+    throw std::invalid_argument("optimal_cover_size: too many subsets");
+  }
+  std::size_t best = n + 1;
+  std::vector<bool> chosen(n);
+  for (std::uint64_t bits = 0; bits < (1ull << n); ++bits) {
+    for (std::size_t i = 0; i < n; ++i) chosen[i] = (bits >> i) & 1u;
+    if (!verify(chosen)) continue;
+    best = std::min(best, cover_size(chosen));
+  }
+  if (best > n) {
+    throw std::runtime_error("optimal_cover_size: system has no cover");
+  }
+  return best;
+}
+
+}  // namespace nck

@@ -1,0 +1,63 @@
+// Set-system problems (Sections VI-A-a and VI-A-b): Exact Cover
+// (NP-complete, hard constraints only) and Minimum Set Cover (NP-hard,
+// hard + soft). Both run on the same set system, as in the paper's
+// experiments. One NchooseK variable per subset ("subset is in the cover").
+#pragma once
+
+#include <vector>
+
+#include "core/env.hpp"
+#include "qubo/qubo.hpp"
+#include "util/rng.hpp"
+
+namespace nck {
+
+struct SetSystem {
+  std::size_t num_elements = 0;
+  /// subsets[i] = sorted element ids contained in subset i.
+  std::vector<std::vector<std::size_t>> subsets;
+
+  /// Subsets containing a given element.
+  std::vector<std::size_t> covering(std::size_t element) const;
+};
+
+/// Random set system with a planted exact cover: the elements are first
+/// partitioned into `partition_blocks` subsets (so an exact cover always
+/// exists), then `extra_subsets` random subsets are added.
+SetSystem random_set_system(std::size_t num_elements,
+                            std::size_t partition_blocks,
+                            std::size_t extra_subsets, Rng& rng);
+
+struct ExactCoverProblem {
+  SetSystem system;
+
+  /// One hard nck(covering(e), {1}) per element.
+  Env encode() const;
+
+  /// Handcrafted QUBO (Lucas Eq. for exact cover):
+  ///   H = sum_e (1 - sum_{i : e in S_i} x_i)^2.
+  Qubo handcrafted_qubo() const;
+
+  bool verify(const std::vector<bool>& chosen) const;
+};
+
+struct MinSetCoverProblem {
+  SetSystem system;
+
+  /// One hard nck(covering(e), {1..|covering(e)|}) per element (at least
+  /// once) plus one soft nck({s}, {0}) per subset (minimize cover size).
+  Env encode() const;
+
+  /// Handcrafted QUBO following Lucas section 5.1: one-hot counter
+  /// variables y_{e,m} ("element e is covered exactly m times"), coupling
+  /// the counters to the subset variables, plus the B-weighted size term.
+  /// This is the formulation whose worst case is O(n N^2) terms (Table I).
+  Qubo handcrafted_qubo() const;
+
+  bool verify(const std::vector<bool>& chosen) const;
+  std::size_t cover_size(const std::vector<bool>& chosen) const;
+  /// Exact minimum cover size (exhaustive over subsets; needs <= 24).
+  std::size_t optimal_cover_size() const;
+};
+
+}  // namespace nck

@@ -1,0 +1,46 @@
+#include "problems/max_cut.hpp"
+
+#include "graph/algorithms.hpp"
+
+namespace nck {
+
+Env MaxCutProblem::encode() const {
+  Env env;
+  const auto vars = env.new_vars(graph.num_vertices(), "v");
+  for (const auto& [u, v] : graph.edges()) {
+    env.nck({vars[u], vars[v]}, {1}, ConstraintKind::kSoft);
+  }
+  return env;
+}
+
+Env MaxCutProblem::encode_with_edge_vars() const {
+  Env env;
+  const auto vars = env.new_vars(graph.num_vertices(), "v");
+  for (const auto& [u, v] : graph.edges()) {
+    const VarId e = env.new_var("e_" + std::to_string(u) + "_" +
+                                std::to_string(v));
+    env.nck({vars[u], vars[v], e}, {0, 2});  // e == (u XOR v)
+    env.prefer_true(e);
+  }
+  return env;
+}
+
+Qubo MaxCutProblem::handcrafted_qubo() const {
+  Qubo q(graph.num_vertices());
+  for (const auto& [u, v] : graph.edges()) {
+    q.add_linear(u, -1.0);
+    q.add_linear(v, -1.0);
+    q.add_quadratic(u, v, 2.0);
+  }
+  return q;
+}
+
+std::size_t MaxCutProblem::cut_of(const std::vector<bool>& side) const {
+  return cut_size(graph, side);
+}
+
+std::size_t MaxCutProblem::optimal_cut() const {
+  return maximum_cut_size(graph);
+}
+
+}  // namespace nck

@@ -1,0 +1,37 @@
+// Maximum Cut (Section IV-C / VI-A-g): NP-hard, and the simplest NchooseK
+// program — one *soft* nck({u, v}, {1}) per edge, nothing else. Also
+// provided: the paper's rejected alternative encoding with one explicit
+// cut-indicator variable per edge (used by the encoding ablation bench),
+// and the standard Ising/QUBO comparator.
+#pragma once
+
+#include "core/env.hpp"
+#include "graph/graph.hpp"
+#include "qubo/qubo.hpp"
+
+namespace nck {
+
+struct MaxCutProblem {
+  Graph graph;
+
+  /// Soft-edge encoding (the paper's preferred form).
+  Env encode() const;
+
+  /// Alternative encoding: per edge an extra indicator e with hard
+  /// nck({u, v, e}, {0, 2}) — the XOR pattern forcing e == (u != v) — plus
+  /// soft nck({e}, {1}). Demonstrates the "adds many unnecessary variables
+  /// and greatly increases the number and complexity of constraints" point
+  /// of Section IV-C.
+  Env encode_with_edge_vars() const;
+
+  /// Standard Ising comparator mapped to QUBO:
+  ///   H = sum_{(u,v)} s_u s_v  ->  sum (2 x_u x_v - x_u - x_v) * 2 ... the
+  /// conventional per-edge QUBO  -x_u - x_v + 2 x_u x_v (cut edges lower
+  /// the energy by 1).
+  Qubo handcrafted_qubo() const;
+
+  std::size_t cut_of(const std::vector<bool>& side) const;
+  std::size_t optimal_cut() const;
+};
+
+}  // namespace nck

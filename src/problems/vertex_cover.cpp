@@ -1,0 +1,50 @@
+#include "problems/vertex_cover.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+
+namespace nck {
+
+Env VertexCoverProblem::encode() const {
+  Env env;
+  const auto vars = env.new_vars(graph.num_vertices(), "v");
+  for (const auto& [u, v] : graph.edges()) {
+    env.nck({vars[u], vars[v]}, {1, 2});
+  }
+  for (VarId v : vars) env.prefer_false(v);
+  return env;
+}
+
+Qubo VertexCoverProblem::handcrafted_qubo() const {
+  constexpr double kA = 2.0;  // edge-coverage penalty weight
+  constexpr double kB = 1.0;  // cover-size weight (must be < A)
+  Qubo q(graph.num_vertices());
+  for (const auto& [u, v] : graph.edges()) {
+    // A (1 - x_u)(1 - x_v) = A (1 - x_u - x_v + x_u x_v).
+    q.add_offset(kA);
+    q.add_linear(u, -kA);
+    q.add_linear(v, -kA);
+    q.add_quadratic(u, v, kA);
+  }
+  for (Graph::Vertex v = 0; v < graph.num_vertices(); ++v) {
+    q.add_linear(v, kB);
+  }
+  return q;
+}
+
+bool VertexCoverProblem::verify(const std::vector<bool>& assignment) const {
+  return is_vertex_cover(graph, assignment);
+}
+
+std::size_t VertexCoverProblem::cover_size(
+    const std::vector<bool>& assignment) const {
+  return static_cast<std::size_t>(
+      std::count(assignment.begin(), assignment.end(), true));
+}
+
+std::size_t VertexCoverProblem::optimal_cover_size() const {
+  return minimum_vertex_cover_size(graph);
+}
+
+}  // namespace nck

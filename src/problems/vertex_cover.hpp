@@ -1,0 +1,33 @@
+// Minimum Vertex Cover (Section IV, the paper's motivating NP-hard problem).
+// NchooseK encoding: hard nck({u, v}, {1, 2}) per edge (at least one
+// endpoint in the cover) plus soft nck({v}, {0}) per vertex (prefer small
+// covers). Handcrafted comparison QUBO (Section VI-A-c):
+//   H = A sum_{(u,v) in E} (1 - x_u)(1 - x_v) + B sum_v x_v,  A > B.
+#pragma once
+
+#include "core/env.hpp"
+#include "graph/graph.hpp"
+#include "qubo/qubo.hpp"
+
+namespace nck {
+
+struct VertexCoverProblem {
+  Graph graph;
+
+  /// Builds the NchooseK program; variable i corresponds to vertex i.
+  Env encode() const;
+
+  /// The Lucas-style direct QUBO (A = 2, B = 1).
+  Qubo handcrafted_qubo() const;
+
+  /// Is the assignment a vertex cover?
+  bool verify(const std::vector<bool>& assignment) const;
+
+  /// Cover size of an assignment.
+  std::size_t cover_size(const std::vector<bool>& assignment) const;
+
+  /// Exact optimum (branch and bound).
+  std::size_t optimal_cover_size() const;
+};
+
+}  // namespace nck

@@ -1,0 +1,36 @@
+// Exact QUBO minimization by exhaustive enumeration, OpenMP-parallel over
+// the state space. Usable up to ~28 variables; the synthesizer verification
+// and ground-truth checks for small studies rely on it.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "qubo/qubo.hpp"
+
+namespace nck {
+
+struct BruteForceResult {
+  double min_energy = 0.0;
+  /// All minimizing assignments found, up to `max_ground_states`
+  /// (deterministic order: ascending as binary integers, bit i = x_i).
+  std::vector<std::vector<bool>> ground_states;
+  bool truncated = false;  // true if more minimizers exist than returned
+};
+
+/// Enumerates all 2^n assignments. Throws if n > 30.
+/// Energies within `tie_eps` of the minimum count as ground states.
+BruteForceResult brute_force_minimize(const Qubo& q,
+                                      std::size_t max_ground_states = 4096,
+                                      double tie_eps = 1e-6);
+
+/// Convenience: minimum energy only.
+double brute_force_min_energy(const Qubo& q);
+
+/// Minimum energy restricted to assignments extending `prefix_mask` /
+/// `prefix_value` on the first `prefix_bits` variables; used by tests to
+/// check conditional ground states (e.g. per-ancilla minima).
+double brute_force_min_energy_with_fixed(const Qubo& q,
+                                         std::span<const int> fixed);
+
+}  // namespace nck

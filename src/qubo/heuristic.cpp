@@ -1,0 +1,122 @@
+#include "qubo/heuristic.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace nck {
+namespace {
+
+// Local view used by all samplers: adjacency lists plus the energy delta of
+// flipping one variable, maintained incrementally.
+struct FlipState {
+  const Qubo& q;
+  std::vector<std::vector<std::pair<Qubo::Var, double>>> adj;
+  std::vector<bool> x;
+  double energy;
+
+  FlipState(const Qubo& q_, std::vector<bool> start)
+      : q(q_), adj(q_.adjacency()), x(std::move(start)), energy(q_.energy(x)) {}
+
+  // Energy change if variable i were flipped.
+  double delta(std::size_t i) const {
+    const double sign = x[i] ? -1.0 : 1.0;
+    double d = sign * q.linear(static_cast<Qubo::Var>(i));
+    for (const auto& [j, c] : adj[i]) {
+      if (x[j]) d += sign * c;
+    }
+    return d;
+  }
+
+  void flip(std::size_t i, double d) {
+    x[i] = !x[i];
+    energy += d;
+  }
+};
+
+std::vector<bool> random_state(std::size_t n, Rng& rng) {
+  std::vector<bool> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = rng.bernoulli(0.5);
+  return x;
+}
+
+void metropolis_sweep(FlipState& s, double beta, Rng& rng) {
+  const std::size_t n = s.x.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = s.delta(i);
+    if (d <= 0.0 || rng.uniform() < std::exp(-beta * d)) {
+      s.flip(i, d);
+    }
+  }
+}
+
+}  // namespace
+
+Sample anneal_once(const Qubo& q, const AnnealParams& params, Rng& rng) {
+  FlipState s(q, random_state(q.num_variables(), rng));
+  if (q.num_variables() == 0) return {s.x, s.energy};
+  const double ratio =
+      params.num_sweeps > 1
+          ? std::pow(params.beta_final / params.beta_initial,
+                     1.0 / static_cast<double>(params.num_sweeps - 1))
+          : 1.0;
+  double beta = params.beta_initial;
+  for (std::size_t sweep = 0; sweep < params.num_sweeps; ++sweep) {
+    metropolis_sweep(s, beta, rng);
+    beta *= ratio;
+  }
+  // Quench to the nearest local minimum for a clean readout.
+  Sample out = greedy_descent(q, std::move(s.x));
+  return out;
+}
+
+std::vector<Sample> anneal(const Qubo& q, const AnnealParams& params,
+                           std::size_t num_reads, Rng& rng) {
+  std::vector<Rng> streams;
+  streams.reserve(num_reads);
+  for (std::size_t r = 0; r < num_reads; ++r) streams.push_back(rng.split());
+  std::vector<Sample> samples(num_reads);
+#pragma omp parallel for schedule(dynamic)
+  for (std::int64_t r = 0; r < static_cast<std::int64_t>(num_reads); ++r) {
+    samples[static_cast<std::size_t>(r)] =
+        anneal_once(q, params, streams[static_cast<std::size_t>(r)]);
+  }
+  std::sort(samples.begin(), samples.end(),
+            [](const Sample& a, const Sample& b) { return a.energy < b.energy; });
+  return samples;
+}
+
+Sample greedy_descent(const Qubo& q, std::vector<bool> start) {
+  start.resize(q.num_variables(), false);
+  FlipState s(q, std::move(start));
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      const double d = s.delta(i);
+      if (d < -Qubo::kEps) {
+        s.flip(i, d);
+        improved = true;
+      }
+    }
+  }
+  return {std::move(s.x), s.energy};
+}
+
+std::vector<Sample> boltzmann_sample(const Qubo& q, double beta,
+                                     std::size_t num_samples, Rng& rng,
+                                     std::size_t burn_in_sweeps,
+                                     std::size_t thin_sweeps) {
+  FlipState s(q, random_state(q.num_variables(), rng));
+  for (std::size_t i = 0; i < burn_in_sweeps; ++i) metropolis_sweep(s, beta, rng);
+  std::vector<Sample> out;
+  out.reserve(num_samples);
+  for (std::size_t k = 0; k < num_samples; ++k) {
+    for (std::size_t i = 0; i < thin_sweeps; ++i) metropolis_sweep(s, beta, rng);
+    out.push_back({s.x, s.energy});
+  }
+  return out;
+}
+
+}  // namespace nck

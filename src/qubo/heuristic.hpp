@@ -1,0 +1,46 @@
+// Heuristic QUBO samplers: single-flip Metropolis simulated annealing and a
+// greedy descent. These serve two roles:
+//  * generic heuristic minimization for problems beyond brute-force reach;
+//  * the low-temperature Boltzmann sampler that approximates the ideal QAOA
+//    output distribution for circuits too wide to state-vector-simulate
+//    (see DESIGN.md, hardware substitutions).
+#pragma once
+
+#include <vector>
+
+#include "qubo/qubo.hpp"
+#include "util/rng.hpp"
+
+namespace nck {
+
+struct AnnealParams {
+  std::size_t num_sweeps = 256;   // full-variable Metropolis sweeps per read
+  double beta_initial = 0.1;      // inverse temperature at start
+  double beta_final = 8.0;        // inverse temperature at end (geometric ramp)
+};
+
+struct Sample {
+  std::vector<bool> x;
+  double energy = 0.0;
+};
+
+/// One simulated-annealing read from a random start. Deterministic given rng.
+Sample anneal_once(const Qubo& q, const AnnealParams& params, Rng& rng);
+
+/// `num_reads` independent reads, OpenMP-parallel, each from its own rng
+/// stream split from `rng`. Results sorted by ascending energy.
+std::vector<Sample> anneal(const Qubo& q, const AnnealParams& params,
+                           std::size_t num_reads, Rng& rng);
+
+/// Greedy single-flip descent to a local minimum from the given start.
+Sample greedy_descent(const Qubo& q, std::vector<bool> start);
+
+/// Draws `num_samples` samples approximately from the Boltzmann distribution
+/// exp(-beta * E(x)) via Metropolis with burn-in; used as the wide-circuit
+/// QAOA surrogate.
+std::vector<Sample> boltzmann_sample(const Qubo& q, double beta,
+                                     std::size_t num_samples, Rng& rng,
+                                     std::size_t burn_in_sweeps = 64,
+                                     std::size_t thin_sweeps = 4);
+
+}  // namespace nck

@@ -1,0 +1,75 @@
+#include "qubo/io.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace nck {
+
+void write_qubo(std::ostream& os, const Qubo& q) {
+  os << "p qubo 0 " << q.num_variables() << ' ' << q.num_linear_terms() << ' '
+     << q.num_quadratic_terms() << '\n';
+  if (std::abs(q.offset()) > Qubo::kEps) {
+    os << "c offset " << q.offset() << '\n';
+  }
+  for (std::size_t i = 0; i < q.num_variables(); ++i) {
+    const double c = q.linear(static_cast<Qubo::Var>(i));
+    if (std::abs(c) > Qubo::kEps) os << i << ' ' << i << ' ' << c << '\n';
+  }
+  for (const auto& [i, j, c] : q.quadratic_terms()) {
+    os << i << ' ' << j << ' ' << c << '\n';
+  }
+}
+
+std::string qubo_to_text(const Qubo& q) {
+  std::ostringstream os;
+  os.precision(17);
+  write_qubo(os, q);
+  return os.str();
+}
+
+Qubo read_qubo(std::istream& is) {
+  Qubo q;
+  std::string line;
+  bool saw_header = false;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    if (line[0] == 'p') {
+      std::string p, fmt;
+      int zero = 0;
+      std::size_t nvars = 0, nlin = 0, nquad = 0;
+      if (!(ls >> p >> fmt >> zero >> nvars >> nlin >> nquad) || fmt != "qubo") {
+        throw std::runtime_error("read_qubo: malformed header: " + line);
+      }
+      q.resize(nvars);
+      saw_header = true;
+    } else if (line[0] == 'c') {
+      std::string c, tag;
+      double value = 0.0;
+      ls >> c >> tag;
+      if (tag == "offset" && (ls >> value)) q.add_offset(value);
+    } else {
+      Qubo::Var i = 0, j = 0;
+      double coeff = 0.0;
+      if (!(ls >> i >> j >> coeff)) {
+        throw std::runtime_error("read_qubo: malformed term line: " + line);
+      }
+      if (i == j) {
+        q.add_linear(i, coeff);
+      } else {
+        q.add_quadratic(i, j, coeff);
+      }
+    }
+  }
+  if (!saw_header) throw std::runtime_error("read_qubo: missing header");
+  return q;
+}
+
+Qubo qubo_from_text(const std::string& text) {
+  std::istringstream is(text);
+  return read_qubo(is);
+}
+
+}  // namespace nck

@@ -1,0 +1,25 @@
+// Plain-text QUBO serialization, format compatible in spirit with the
+// qbsolv ".qubo" style: a header line then one line per term.
+//
+//   p qubo 0 <num_vars> <num_linear> <num_quadratic>
+//   <i> <i> <coeff>      (linear)
+//   <i> <j> <coeff>      (quadratic, i < j)
+//   c offset <value>     (optional comment-carried offset)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "qubo/qubo.hpp"
+
+namespace nck {
+
+void write_qubo(std::ostream& os, const Qubo& q);
+std::string qubo_to_text(const Qubo& q);
+
+/// Parses the format written by write_qubo. Throws std::runtime_error on
+/// malformed input.
+Qubo read_qubo(std::istream& is);
+Qubo qubo_from_text(const std::string& text);
+
+}  // namespace nck

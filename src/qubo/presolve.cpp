@@ -1,0 +1,76 @@
+#include "qubo/presolve.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nck {
+
+std::vector<bool> PresolveResult::complete(std::vector<bool> assignment) const {
+  assignment.resize(fixed.size(), false);
+  for (std::size_t i = 0; i < fixed.size(); ++i) {
+    if (fixed[i] == 0) assignment[i] = false;
+    if (fixed[i] == 1) assignment[i] = true;
+  }
+  return assignment;
+}
+
+PresolveResult presolve(const Qubo& q) {
+  const std::size_t n = q.num_variables();
+  PresolveResult result;
+  result.fixed.assign(n, -1);
+  result.reduced = q;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++result.rounds;
+    const auto adj = result.reduced.adjacency();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (result.fixed[i] != -1) continue;
+      const double a = result.reduced.linear(static_cast<Qubo::Var>(i));
+      double worst_down = 0.0;  // sum of negative couplings
+      double worst_up = 0.0;    // sum of positive couplings
+      for (const auto& [j, c] : adj[i]) {
+        if (result.fixed[j] != -1) continue;  // already folded away
+        worst_down += std::min(0.0, c);
+        worst_up += std::max(0.0, c);
+      }
+      int decide = -1;
+      if (a + worst_down >= 0.0) {
+        decide = 0;  // activating i can never strictly help
+      } else if (a + worst_up <= 0.0) {
+        decide = 1;  // activating i can never hurt
+      }
+      if (decide == -1) continue;
+
+      result.fixed[i] = decide;
+      ++result.num_fixed;
+      changed = true;
+      // Substitute: x_i = decide. For decide == 1, b_ij x_j folds into the
+      // linear term of j and a_i into the offset; either way i's terms go.
+      Qubo next(n);
+      next.add_offset(result.reduced.offset());
+      for (std::size_t k = 0; k < n; ++k) {
+        double lin = result.reduced.linear(static_cast<Qubo::Var>(k));
+        if (k == i) {
+          if (decide == 1) next.add_offset(lin);
+          continue;
+        }
+        next.add_linear(static_cast<Qubo::Var>(k), lin);
+      }
+      for (const auto& [u, v, c] : result.reduced.quadratic_terms()) {
+        if (u == i || v == i) {
+          if (decide == 1) {
+            next.add_linear(u == i ? v : u, c);
+          }
+          continue;
+        }
+        next.add_quadratic(u, v, c);
+      }
+      result.reduced = std::move(next);
+    }
+  }
+  return result;
+}
+
+}  // namespace nck

@@ -1,0 +1,36 @@
+// QUBO presolve: fixes variables whose optimal value is decidable from
+// coefficient signs alone (single-variable roof-duality bounds):
+//
+//   x_i can be fixed to 0 if  a_i + sum_j min(0, b_ij) >= 0   (turning it on
+//                             can never lower the energy), and
+//   x_i can be fixed to 1 if  a_i + sum_j max(0, b_ij) <= 0   (turning it on
+//                             can never raise it).
+//
+// Fixings are substituted (folding quadratic terms into linear ones) and the
+// analysis iterates to a fixpoint, so one fixing can unlock another. The
+// minimizer-set projection onto the free variables is preserved; at least
+// one global minimizer always survives.
+#pragma once
+
+#include <vector>
+
+#include "qubo/qubo.hpp"
+
+namespace nck {
+
+struct PresolveResult {
+  /// Per-variable decision: -1 free, 0 fixed FALSE, 1 fixed TRUE.
+  std::vector<int> fixed;
+  /// Reduced QUBO over the same indices; fixed variables no longer carry
+  /// terms (their contribution moved into linear terms / the offset).
+  Qubo reduced;
+  std::size_t num_fixed = 0;
+  std::size_t rounds = 0;  // fixpoint iterations taken
+
+  /// Completes an assignment of the reduced problem with the fixed values.
+  std::vector<bool> complete(std::vector<bool> assignment) const;
+};
+
+PresolveResult presolve(const Qubo& q);
+
+}  // namespace nck

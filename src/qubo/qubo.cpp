@@ -1,0 +1,181 @@
+#include "qubo/qubo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+
+namespace nck {
+
+Qubo::Qubo(std::size_t num_variables) : linear_(num_variables, 0.0) {}
+
+void Qubo::resize(std::size_t n) {
+  if (n > linear_.size()) linear_.resize(n, 0.0);
+}
+
+std::uint64_t Qubo::key(Var i, Var j) noexcept {
+  if (i > j) std::swap(i, j);
+  return (static_cast<std::uint64_t>(i) << 32) | j;
+}
+
+void Qubo::add_linear(Var i, double c) {
+  resize(static_cast<std::size_t>(i) + 1);
+  linear_[i] += c;
+}
+
+void Qubo::add_quadratic(Var i, Var j, double c) {
+  if (i == j) {
+    // x^2 == x for binary variables; fold into the linear term.
+    add_linear(i, c);
+    return;
+  }
+  resize(static_cast<std::size_t>(std::max(i, j)) + 1);
+  quadratic_[key(i, j)] += c;
+}
+
+double Qubo::quadratic(Var i, Var j) const noexcept {
+  if (i == j) return 0.0;
+  const auto it = quadratic_.find(key(i, j));
+  return it == quadratic_.end() ? 0.0 : it->second;
+}
+
+std::size_t Qubo::num_linear_terms() const noexcept {
+  std::size_t n = 0;
+  for (double c : linear_) {
+    if (std::abs(c) > kEps) ++n;
+  }
+  return n;
+}
+
+std::size_t Qubo::num_quadratic_terms() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [k, c] : quadratic_) {
+    if (std::abs(c) > kEps) ++n;
+  }
+  return n;
+}
+
+double Qubo::energy(const std::vector<bool>& x) const {
+  if (x.size() < linear_.size()) {
+    throw std::invalid_argument("Qubo::energy: assignment too short");
+  }
+  double e = offset_;
+  for (std::size_t i = 0; i < linear_.size(); ++i) {
+    if (x[i]) e += linear_[i];
+  }
+  for (const auto& [k, c] : quadratic_) {
+    const Var i = static_cast<Var>(k >> 32);
+    const Var j = static_cast<Var>(k & 0xFFFFFFFFu);
+    if (x[i] && x[j]) e += c;
+  }
+  return e;
+}
+
+Qubo& Qubo::operator+=(const Qubo& other) {
+  resize(other.linear_.size());
+  for (std::size_t i = 0; i < other.linear_.size(); ++i) {
+    linear_[i] += other.linear_[i];
+  }
+  for (const auto& [k, c] : other.quadratic_) quadratic_[k] += c;
+  offset_ += other.offset_;
+  return *this;
+}
+
+Qubo& Qubo::scale(double factor) {
+  if (factor <= 0.0) {
+    throw std::invalid_argument("Qubo::scale: factor must be positive");
+  }
+  for (double& c : linear_) c *= factor;
+  for (auto& [k, c] : quadratic_) c *= factor;
+  offset_ *= factor;
+  return *this;
+}
+
+double Qubo::max_abs_coefficient() const noexcept {
+  double m = 0.0;
+  for (double c : linear_) m = std::max(m, std::abs(c));
+  for (const auto& [k, c] : quadratic_) m = std::max(m, std::abs(c));
+  return m;
+}
+
+Qubo Qubo::remapped(std::span<const Var> mapping) const {
+  Qubo out;
+  for (std::size_t i = 0; i < linear_.size(); ++i) {
+    if (std::abs(linear_[i]) > kEps) {
+      if (i >= mapping.size()) {
+        throw std::invalid_argument("Qubo::remapped: mapping too short");
+      }
+      out.add_linear(mapping[i], linear_[i]);
+    }
+  }
+  for (const auto& [k, c] : quadratic_) {
+    if (std::abs(c) <= kEps) continue;
+    const Var i = static_cast<Var>(k >> 32);
+    const Var j = static_cast<Var>(k & 0xFFFFFFFFu);
+    if (i >= mapping.size() || j >= mapping.size()) {
+      throw std::invalid_argument("Qubo::remapped: mapping too short");
+    }
+    out.add_quadratic(mapping[i], mapping[j], c);
+  }
+  out.add_offset(offset_);
+  return out;
+}
+
+std::vector<std::vector<std::pair<Qubo::Var, double>>> Qubo::adjacency() const {
+  std::vector<std::vector<std::pair<Var, double>>> adj(num_variables());
+  for (const auto& [k, c] : quadratic_) {
+    if (std::abs(c) <= kEps) continue;
+    const Var i = static_cast<Var>(k >> 32);
+    const Var j = static_cast<Var>(k & 0xFFFFFFFFu);
+    adj[i].emplace_back(j, c);
+    adj[j].emplace_back(i, c);
+  }
+  return adj;
+}
+
+std::vector<std::tuple<Qubo::Var, Qubo::Var, double>> Qubo::quadratic_terms()
+    const {
+  std::vector<std::tuple<Var, Var, double>> terms;
+  terms.reserve(quadratic_.size());
+  for (const auto& [k, c] : quadratic_) {
+    if (std::abs(c) <= kEps) continue;
+    terms.emplace_back(static_cast<Var>(k >> 32),
+                       static_cast<Var>(k & 0xFFFFFFFFu), c);
+  }
+  std::sort(terms.begin(), terms.end());
+  return terms;
+}
+
+std::string Qubo::to_string() const {
+  std::ostringstream os;
+  bool first = true;
+  auto emit = [&](double c, const std::string& mono) {
+    if (std::abs(c) <= kEps) return;
+    if (first) {
+      if (c < 0) os << "-";
+      first = false;
+    } else {
+      os << (c < 0 ? " - " : " + ");
+    }
+    const double a = std::abs(c);
+    if (mono.empty()) {
+      os << a;
+    } else if (a == 1.0) {
+      os << mono;
+    } else {
+      os << a << "*" << mono;
+    }
+  };
+  emit(offset_, "");
+  for (std::size_t i = 0; i < linear_.size(); ++i) {
+    emit(linear_[i], "x" + std::to_string(i));
+  }
+  for (const auto& [i, j, c] : quadratic_terms()) {
+    emit(c, "x" + std::to_string(i) + "*x" + std::to_string(j));
+  }
+  if (first) os << "0";
+  return os.str();
+}
+
+}  // namespace nck

@@ -1,0 +1,42 @@
+#include "runtime/result.hpp"
+
+#include "classical/exact_solver.hpp"
+
+namespace nck {
+
+const char* quality_name(Quality q) noexcept {
+  switch (q) {
+    case Quality::kOptimal: return "optimal";
+    case Quality::kSuboptimal: return "suboptimal";
+    case Quality::kIncorrect: return "incorrect";
+  }
+  return "?";
+}
+
+GroundTruth ground_truth(const Env& env) {
+  const ClassicalSolution solution = solve_exact(env);
+  return {solution.feasible, solution.soft_satisfied};
+}
+
+Quality classify(const Evaluation& eval, const GroundTruth& truth) noexcept {
+  if (!eval.feasible()) return Quality::kIncorrect;
+  if (eval.soft_satisfied >= truth.best_soft_satisfied) {
+    return Quality::kOptimal;
+  }
+  return Quality::kSuboptimal;
+}
+
+QualityCounts classify_all(const std::vector<Evaluation>& evals,
+                           const GroundTruth& truth) {
+  QualityCounts counts;
+  for (const Evaluation& e : evals) {
+    switch (classify(e, truth)) {
+      case Quality::kOptimal: ++counts.optimal; break;
+      case Quality::kSuboptimal: ++counts.suboptimal; break;
+      case Quality::kIncorrect: ++counts.incorrect; break;
+    }
+  }
+  return counts;
+}
+
+}  // namespace nck

@@ -1,0 +1,59 @@
+// Result-quality classification (Definition 8): a solution over h hard and
+// s soft constraints is *optimal* if all hard and the maximum possible
+// number of soft constraints are satisfied, *suboptimal* if all hard but
+// fewer than the maximum soft, and *incorrect* if any hard constraint is
+// violated.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/env.hpp"
+
+namespace nck {
+
+enum class Quality { kOptimal, kSuboptimal, kIncorrect };
+
+const char* quality_name(Quality q) noexcept;
+
+/// Ground truth needed to classify: the maximum number of soft constraints
+/// satisfiable subject to all hard constraints (from a classical solver).
+struct GroundTruth {
+  bool feasible = false;
+  std::size_t best_soft_satisfied = 0;
+};
+
+/// Computes the ground truth with the native exact solver.
+GroundTruth ground_truth(const Env& env);
+
+Quality classify(const Evaluation& eval, const GroundTruth& truth) noexcept;
+
+/// Classification summary over a whole sample batch (e.g. 100 annealer
+/// reads or 4000 circuit shots).
+struct QualityCounts {
+  std::size_t optimal = 0;
+  std::size_t suboptimal = 0;
+  std::size_t incorrect = 0;
+
+  std::size_t total() const noexcept {
+    return optimal + suboptimal + incorrect;
+  }
+  double fraction_optimal() const noexcept {
+    return total() ? static_cast<double>(optimal) / static_cast<double>(total())
+                   : 0.0;
+  }
+  double fraction_correct() const noexcept {  // optimal + suboptimal
+    return total() ? static_cast<double>(optimal + suboptimal) /
+                         static_cast<double>(total())
+                   : 0.0;
+  }
+  /// Did *any* sample achieve optimality? (The annealer success criterion:
+  /// "the problem is considered to be solved correctly if any of the hundred
+  /// solutions returned is optimal".)
+  bool any_optimal() const noexcept { return optimal > 0; }
+};
+
+QualityCounts classify_all(const std::vector<Evaluation>& evals,
+                           const GroundTruth& truth);
+
+}  // namespace nck

@@ -1,0 +1,98 @@
+#include "runtime/solver.hpp"
+
+#include "anneal/topology.hpp"
+#include "circuit/coupling.hpp"
+#include "classical/exact_solver.hpp"
+
+namespace nck {
+
+const char* backend_name(BackendKind kind) noexcept {
+  switch (kind) {
+    case BackendKind::kClassical: return "classical";
+    case BackendKind::kAnnealer: return "annealer";
+    case BackendKind::kCircuit: return "circuit";
+  }
+  return "?";
+}
+
+Solver::Solver(std::uint64_t seed)
+    : rng_(seed), coupling_(brooklyn_coupling()) {
+  Rng device_rng(seed ^ 0xD3071CEull);
+  device_ = advantage_4_1(device_rng);
+}
+
+SolveReport Solver::solve(const Env& env, BackendKind backend) {
+  SolveReport report;
+  report.backend = backend;
+  report.truth = ground_truth(env);
+  if (!report.truth.feasible) {
+    report.failure = "program is infeasible (hard constraints conflict)";
+    return report;
+  }
+
+  switch (backend) {
+    case BackendKind::kClassical: {
+      const ClassicalSolution solution = solve_exact(env);
+      report.ran = true;
+      report.best_assignment = solution.assignment;
+      const Evaluation eval = env.evaluate(solution.assignment);
+      report.best_quality = classify(eval, report.truth);
+      report.counts = classify_all({eval}, report.truth);
+      report.num_samples = 1;
+      break;
+    }
+    case BackendKind::kAnnealer: {
+      const AnnealOutcome outcome =
+          run_annealer(env, device_, engine_, rng_, anneal_options_);
+      if (!outcome.embedded) {
+        report.failure = "no minor embedding found on the device";
+        return report;
+      }
+      report.ran = true;
+      report.qubits_used = outcome.qubits_used;
+      report.num_samples = outcome.samples.size();
+      report.counts = classify_all(outcome.evaluations, report.truth);
+      report.backend_seconds = outcome.timing.total_us * 1e-6;
+      // Best sample: first optimal, else first suboptimal, else first.
+      std::size_t best_idx = 0;
+      Quality best = Quality::kIncorrect;
+      for (std::size_t i = 0; i < outcome.evaluations.size(); ++i) {
+        const Quality q = classify(outcome.evaluations[i], report.truth);
+        if (q == Quality::kOptimal) {
+          best_idx = i;
+          best = q;
+          break;
+        }
+        if (q == Quality::kSuboptimal && best == Quality::kIncorrect) {
+          best_idx = i;
+          best = q;
+        }
+      }
+      report.best_assignment = outcome.samples[best_idx];
+      report.best_quality = best;
+      break;
+    }
+    case BackendKind::kCircuit: {
+      const CircuitOutcome outcome =
+          run_circuit_backend(env, coupling_, engine_, rng_, circuit_options_);
+      if (!outcome.fits) {
+        report.failure = "problem does not fit the 65-qubit device";
+        return report;
+      }
+      report.ran = true;
+      report.qubits_used = outcome.qubits_used;
+      report.circuit_depth = outcome.depth;
+      report.num_samples = outcome.samples.size();
+      report.counts = classify_all(outcome.evaluations, report.truth);
+      report.backend_seconds = outcome.total_seconds;
+      // QAOA reports a single answer: the lowest-energy sample.
+      report.best_assignment = outcome.samples.front();
+      report.best_quality =
+          classify(outcome.evaluations.front(), report.truth);
+      break;
+    }
+  }
+  return report;
+}
+
+}  // namespace nck

@@ -1,0 +1,62 @@
+// Unified solver facade over the three execution targets — the "portability
+// across quantum devices" surface of the paper. One call dispatches a
+// generalized NchooseK program to the classical solver, the (simulated)
+// D-Wave annealer, or the (simulated) IBM circuit device, and reports a
+// uniformly classified result.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "anneal/backend.hpp"
+#include "circuit/backend.hpp"
+#include "core/env.hpp"
+#include "runtime/result.hpp"
+#include "synth/engine.hpp"
+#include "util/rng.hpp"
+
+namespace nck {
+
+enum class BackendKind { kClassical, kAnnealer, kCircuit };
+
+const char* backend_name(BackendKind kind) noexcept;
+
+struct SolveReport {
+  BackendKind backend = BackendKind::kClassical;
+  bool ran = false;          // false: problem did not fit / embed / solve
+  std::string failure;       // why ran == false
+  GroundTruth truth;         // classical ground truth used to classify
+  /// Best sample (by classification then energy order of the backend).
+  std::vector<bool> best_assignment;
+  Quality best_quality = Quality::kIncorrect;
+  QualityCounts counts;      // over all samples (classical: one sample)
+  // Backend metrics (meaning depends on backend; 0 when not applicable):
+  std::size_t qubits_used = 0;
+  std::size_t circuit_depth = 0;
+  std::size_t num_samples = 0;
+  double backend_seconds = 0.0;  // modeled device/QPU time
+};
+
+class Solver {
+ public:
+  /// Shares one synthesis engine (and its pattern cache) across solves,
+  /// like a long-lived NchooseK session.
+  explicit Solver(std::uint64_t seed = 1234);
+
+  /// Solves on the requested backend and classifies every sample.
+  SolveReport solve(const Env& env, BackendKind backend);
+
+  AnnealBackendOptions& annealer_options() noexcept { return anneal_options_; }
+  CircuitBackendOptions& circuit_options() noexcept { return circuit_options_; }
+  SynthEngine& engine() noexcept { return engine_; }
+
+ private:
+  SynthEngine engine_;
+  Rng rng_;
+  Device device_;
+  Graph coupling_;
+  AnnealBackendOptions anneal_options_;
+  CircuitBackendOptions circuit_options_;
+};
+
+}  // namespace nck

@@ -1,0 +1,105 @@
+#include "synth/builtin.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace nck {
+
+Qubo square_of_linear(std::span<const double> coeffs, double c0) {
+  Qubo q(coeffs.size());
+  q.add_offset(c0 * c0);
+  for (std::size_t i = 0; i < coeffs.size(); ++i) {
+    // c_i^2 y_i^2 + 2 c0 c_i y_i, with y^2 == y folded together.
+    q.add_linear(static_cast<Qubo::Var>(i),
+                 coeffs[i] * coeffs[i] + 2.0 * c0 * coeffs[i]);
+    for (std::size_t j = i + 1; j < coeffs.size(); ++j) {
+      q.add_quadratic(static_cast<Qubo::Var>(i), static_cast<Qubo::Var>(j),
+                      2.0 * coeffs[i] * coeffs[j]);
+    }
+  }
+  return q;
+}
+
+std::optional<SynthesizedQubo> BuiltinSynthesizer::synthesize(
+    const ConstraintPattern& p) {
+  if (!p.selection_contiguous()) return std::nullopt;
+  const unsigned lo = *p.selection().begin();
+  const unsigned hi = *p.selection().rbegin();
+  const std::size_t d = p.num_vars();
+
+  SynthesizedQubo out;
+  out.num_vars = d;
+  out.gap = 1.0;
+
+  if (lo == 0 && hi == p.cardinality()) {
+    // Every assignment satisfies the constraint.
+    out.qubo = Qubo(d);
+    out.method = "builtin-trivial";
+    return out;
+  }
+
+  std::vector<double> coeffs(p.multiplicities().begin(),
+                             p.multiplicities().end());
+
+  if (lo == 0 && hi == 1) {
+    // At-most-one (weighted): pairwise penalties catch any two TRUE
+    // variables; variables with multiplicity >= 2 can never be TRUE.
+    Qubo q(d);
+    for (std::size_t i = 0; i < d; ++i) {
+      if (p.multiplicities()[i] >= 2) {
+        q.add_linear(static_cast<Qubo::Var>(i), 1.0);
+      }
+      for (std::size_t j = i + 1; j < d; ++j) {
+        q.add_quadratic(static_cast<Qubo::Var>(i), static_cast<Qubo::Var>(j),
+                        1.0);
+      }
+    }
+    out.qubo = std::move(q);
+    out.num_ancillas = 0;
+    out.method = "builtin-at-most-one";
+    return out;
+  }
+
+  if (lo == 1 && hi == p.cardinality() && d == 2) {
+    // At-least-one over two variables: the paper's Section V QUBO
+    // f(a, b) = ab - a - b, normalized to ground energy 0.
+    Qubo q(d);
+    q.add_offset(1.0);
+    q.add_linear(0, -1.0);
+    q.add_linear(1, -1.0);
+    q.add_quadratic(0, 1, 1.0);
+    out.qubo = std::move(q);
+    out.num_ancillas = 0;
+    out.method = "builtin-at-least-one-pair";
+    return out;
+  }
+
+  if (lo == hi) {
+    // Exactly-k: (sum m_i x_i - k)^2. Integer-valued, so gap >= 1... in fact
+    // the gap is (distance)^2 >= 1 with ground exactly 0 for valid rows.
+    out.qubo = square_of_linear(coeffs, -static_cast<double>(lo));
+    out.num_ancillas = 0;
+    out.method = "builtin-exact-k";
+    return out;
+  }
+
+  // Contiguous interval {lo..hi}: (sum m_i x_i - lo - slack)^2 where the
+  // binary slack weights cover exactly 0..(hi - lo).
+  const unsigned span = hi - lo;  // >= 1 here
+  std::vector<double> weights;
+  unsigned covered = 0;
+  while (covered < span) {
+    // Next power-of-two weight, truncated so total coverage is exactly span.
+    unsigned w = covered + 1;  // doubles coverage: 1, 2, 4, ...
+    if (covered + w > span) w = span - covered;
+    weights.push_back(static_cast<double>(w));
+    covered += w;
+  }
+  for (double w : weights) coeffs.push_back(-w);
+  out.qubo = square_of_linear(coeffs, -static_cast<double>(lo));
+  out.num_ancillas = weights.size();
+  out.method = "builtin-interval";
+  return out;
+}
+
+}  // namespace nck

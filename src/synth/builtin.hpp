@@ -1,0 +1,22 @@
+// Closed-form QUBO constructions for the common constraint shapes, avoiding
+// any search. Handles:
+//   * trivial selection sets K == {0..cardinality}        -> zero QUBO
+//   * singleton K == {k}                                  -> (sum m_i x_i - k)^2
+//   * contiguous K == {lo..hi}                            -> squared distance
+//     with ceil(log2(hi-lo+1)) binary slack ancillas
+// Non-contiguous selection sets (e.g. the XOR pattern {0,2}) fall through to
+// the general synthesizers.
+#pragma once
+
+#include "synth/synthesizer.hpp"
+
+namespace nck {
+
+class BuiltinSynthesizer final : public ConstraintSynthesizer {
+ public:
+  std::optional<SynthesizedQubo> synthesize(
+      const ConstraintPattern& pattern) override;
+  std::string name() const override { return "builtin"; }
+};
+
+}  // namespace nck

@@ -1,0 +1,86 @@
+#include "synth/engine.hpp"
+
+#include <stdexcept>
+
+#include "synth/builtin.hpp"
+#include "synth/lp_synth.hpp"
+#include "synth/verify.hpp"
+#if NCK_HAVE_Z3
+#include "synth/z3_synth.hpp"
+#endif
+
+namespace nck {
+
+SynthEngine::SynthEngine(SynthEngineOptions options) : options_(options) {
+  builtin_ = std::make_unique<BuiltinSynthesizer>();
+  auto add_lp = [&] {
+    LpSynthOptions lp;
+    lp.max_ancillas = options_.max_ancillas;
+    general_.push_back(std::make_unique<LpSynthesizer>(lp));
+  };
+#if NCK_HAVE_Z3
+  auto add_z3 = [&] {
+    Z3SynthOptions z3;
+    z3.max_ancillas = options_.max_ancillas;
+    general_.push_back(std::make_unique<Z3Synthesizer>(z3));
+  };
+  if (options_.prefer_z3) {
+    add_z3();
+    add_lp();
+  } else {
+    add_lp();
+    add_z3();
+  }
+#else
+  add_lp();
+#endif
+}
+
+SynthesizedQubo SynthEngine::synthesize_uncached(
+    const ConstraintPattern& pattern) {
+  if (options_.use_builtin) {
+    if (auto result = builtin_->synthesize(pattern)) {
+      ++stats_.builtin_hits;
+      return std::move(*result);
+    }
+  }
+  for (const auto& synth : general_) {
+    if (synth->name() == "z3") {
+      ++stats_.z3_calls;
+    } else {
+      ++stats_.lp_calls;
+    }
+    if (auto result = synth->synthesize(pattern)) {
+      return std::move(*result);
+    }
+  }
+  throw std::runtime_error("SynthEngine: no synthesizer handled pattern " +
+                           pattern.key());
+}
+
+const SynthesizedQubo& SynthEngine::synthesize(
+    const ConstraintPattern& pattern) {
+  ++stats_.requests;
+  const std::string key = pattern.key();
+  if (options_.use_cache) {
+    if (auto it = cache_.find(key); it != cache_.end()) {
+      ++stats_.cache_hits;
+      return it->second;
+    }
+  }
+  SynthesizedQubo result = synthesize_uncached(pattern);
+  if (options_.verify) {
+    const SynthesisCheck check = verify_synthesis(pattern, result);
+    if (!check.ok) {
+      throw std::runtime_error("SynthEngine: verification failed for " + key +
+                               " (" + result.method + "): " + check.error);
+    }
+  }
+  if (options_.use_cache) {
+    return cache_.emplace(key, std::move(result)).first->second;
+  }
+  scratch_ = std::move(result);
+  return scratch_;
+}
+
+}  // namespace nck

@@ -1,0 +1,56 @@
+// Synthesis engine: the front end the compiler calls per constraint.
+// Tries closed-form constructions first, then the general synthesizers,
+// and memoizes by canonical pattern. The paper (Section VIII-C) observes
+// that *not* caching symmetric constraints costs 40-50x in compile time;
+// the cache here is what `bench_ablation_cache` turns off to reproduce that.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "synth/synthesizer.hpp"
+
+namespace nck {
+
+struct SynthEngineOptions {
+  bool use_builtin = true;   // closed forms for contiguous selection sets
+  bool use_cache = true;     // memoize per canonical pattern
+  bool prefer_z3 = true;     // general path order: z3 then lp (if available)
+  bool verify = false;       // exhaustively verify every synthesis (tests)
+  std::size_t max_ancillas = 3;
+};
+
+struct SynthEngineStats {
+  std::size_t requests = 0;
+  std::size_t cache_hits = 0;
+  std::size_t builtin_hits = 0;
+  std::size_t z3_calls = 0;
+  std::size_t lp_calls = 0;
+};
+
+class SynthEngine {
+ public:
+  explicit SynthEngine(SynthEngineOptions options = {});
+
+  /// Synthesizes (or recalls) the QUBO for a pattern. Throws
+  /// std::runtime_error if no synthesizer succeeds within the ancilla
+  /// budget, or if verification is on and fails.
+  const SynthesizedQubo& synthesize(const ConstraintPattern& pattern);
+
+  const SynthEngineStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+  void clear_cache() { cache_.clear(); }
+
+ private:
+  SynthesizedQubo synthesize_uncached(const ConstraintPattern& pattern);
+
+  SynthEngineOptions options_;
+  SynthEngineStats stats_;
+  std::vector<std::unique_ptr<ConstraintSynthesizer>> general_;
+  std::unique_ptr<ConstraintSynthesizer> builtin_;
+  std::unordered_map<std::string, SynthesizedQubo> cache_;
+  SynthesizedQubo scratch_;  // holds the result when caching is disabled
+};
+
+}  // namespace nck

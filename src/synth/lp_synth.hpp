@@ -1,0 +1,38 @@
+// General constraint -> QUBO synthesis by exact linear programming, the
+// native (non-Z3) path. For a candidate ancilla count `a`, the QUBO
+// coefficients form an LP feasibility problem:
+//
+//   for every satisfying x:  f(x, z*(x)) == 0 for some chosen z*(x)   (eq)
+//                            f(x, z) >= 0 for every z                 (ge)
+//   for every violating x:   f(x, z) >= gap for every z               (ge)
+//
+// The existential choice of z*(x) is resolved by backtracking over per-row
+// ancilla ground states, pruning with LP feasibility after each choice.
+// Among feasible coefficient vectors, the L1 norm is minimized, which keeps
+// the generated QUBOs as small and human-comparable as the handcrafted ones
+// (Section VI-B).
+#pragma once
+
+#include "synth/synthesizer.hpp"
+
+namespace nck {
+
+struct LpSynthOptions {
+  std::size_t max_ancillas = 3;
+  std::size_t max_vars = 8;  // d + a beyond this is refused (LP would be huge)
+  double gap = 1.0;
+};
+
+class LpSynthesizer final : public ConstraintSynthesizer {
+ public:
+  explicit LpSynthesizer(LpSynthOptions options = {}) : options_(options) {}
+
+  std::optional<SynthesizedQubo> synthesize(
+      const ConstraintPattern& pattern) override;
+  std::string name() const override { return "lp"; }
+
+ private:
+  LpSynthOptions options_;
+};
+
+}  // namespace nck

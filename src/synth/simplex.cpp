@@ -1,0 +1,203 @@
+#include "synth/simplex.hpp"
+
+#include <stdexcept>
+
+namespace nck {
+
+void LinearProgram::add_eq(std::vector<Rational> row, Rational rhs) {
+  if (row.size() != num_vars) {
+    throw std::invalid_argument("LinearProgram::add_eq: row size mismatch");
+  }
+  a_eq.push_back(std::move(row));
+  b_eq.push_back(rhs);
+}
+
+void LinearProgram::add_ge(std::vector<Rational> row, Rational rhs) {
+  if (row.size() != num_vars) {
+    throw std::invalid_argument("LinearProgram::add_ge: row size mismatch");
+  }
+  a_ge.push_back(std::move(row));
+  b_ge.push_back(rhs);
+}
+
+namespace {
+
+// Dense rational tableau. Layout: `a` is m x n, basis[i] is the basic
+// variable of row i. Costs are kept in a separate reduced-cost row `z`
+// with objective value in z_rhs (minimization; z holds c_B B^-1 A - c).
+class Tableau {
+ public:
+  Tableau(std::size_t m, std::size_t n) : m_(m), n_(n), a_(m, std::vector<Rational>(n)), b_(m), basis_(m) {}
+
+  std::vector<std::vector<Rational>>& a() { return a_; }
+  std::vector<Rational>& b() { return b_; }
+  std::vector<std::size_t>& basis() { return basis_; }
+
+  // Pivots on (row, col): row scaled so a[row][col] == 1, then eliminated
+  // from all other rows and from the cost row.
+  void pivot(std::size_t row, std::size_t col, std::vector<Rational>& z,
+             Rational& z_rhs) {
+    const Rational p = a_[row][col];
+    for (std::size_t j = 0; j < n_; ++j) a_[row][j] /= p;
+    b_[row] /= p;
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (i == row || a_[i][col].is_zero()) continue;
+      const Rational f = a_[i][col];
+      for (std::size_t j = 0; j < n_; ++j) a_[i][j] -= f * a_[row][j];
+      b_[i] -= f * b_[row];
+    }
+    if (!z[col].is_zero()) {
+      const Rational f = z[col];
+      for (std::size_t j = 0; j < n_; ++j) z[j] -= f * a_[row][j];
+      z_rhs -= f * b_[row];
+    }
+    basis_[row] = col;
+  }
+
+  // Runs simplex iterations with Bland's rule on the given cost row,
+  // restricted to columns [0, usable_cols). Returns false on unboundedness.
+  bool optimize(std::vector<Rational>& z, Rational& z_rhs,
+                std::size_t usable_cols) {
+    for (;;) {
+      // Bland: entering variable = smallest index with positive reduced cost
+      // (we maximize -obj internally; see construction below).
+      std::size_t enter = usable_cols;
+      for (std::size_t j = 0; j < usable_cols; ++j) {
+        if (z[j] > Rational(0)) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter == usable_cols) return true;  // optimal
+      // Ratio test; Bland tie-break on smallest basis index.
+      std::size_t leave = m_;
+      Rational best_ratio;
+      for (std::size_t i = 0; i < m_; ++i) {
+        if (a_[i][enter] > Rational(0)) {
+          const Rational ratio = b_[i] / a_[i][enter];
+          if (leave == m_ || ratio < best_ratio ||
+              (ratio == best_ratio && basis_[i] < basis_[leave])) {
+            leave = i;
+            best_ratio = ratio;
+          }
+        }
+      }
+      if (leave == m_) return false;  // unbounded
+      pivot(leave, enter, z, z_rhs);
+    }
+  }
+
+  std::size_t m() const { return m_; }
+  std::size_t n() const { return n_; }
+
+ private:
+  std::size_t m_, n_;
+  std::vector<std::vector<Rational>> a_;
+  std::vector<Rational> b_;
+  std::vector<std::size_t> basis_;
+};
+
+}  // namespace
+
+LpResult solve_lp(const LinearProgram& lp) {
+  const std::size_t n = lp.num_vars;
+  const std::size_t m_eq = lp.a_eq.size();
+  const std::size_t m_ge = lp.a_ge.size();
+  const std::size_t m = m_eq + m_ge;
+
+  // Columns: [0, n) structural, [n, n + m_ge) surplus, [n + m_ge, +m) artificial.
+  const std::size_t surplus0 = n;
+  const std::size_t art0 = n + m_ge;
+  const std::size_t total_cols = n + m_ge + m;
+
+  Tableau t(m, total_cols);
+  for (std::size_t i = 0; i < m; ++i) {
+    const bool is_eq = i < m_eq;
+    const auto& row = is_eq ? lp.a_eq[i] : lp.a_ge[i - m_eq];
+    Rational rhs = is_eq ? lp.b_eq[i] : lp.b_ge[i - m_eq];
+    // Sign chosen so rhs >= 0 after possible negation.
+    const bool negate = rhs < Rational(0);
+    for (std::size_t j = 0; j < n; ++j) {
+      t.a()[i][j] = negate ? -row[j] : row[j];
+    }
+    if (!is_eq) {
+      // A x - s = b  (s >= 0). After negation the surplus sign flips too.
+      t.a()[i][surplus0 + (i - m_eq)] = negate ? Rational(1) : Rational(-1);
+    }
+    t.b()[i] = negate ? -rhs : rhs;
+    t.a()[i][art0 + i] = Rational(1);
+    t.basis()[i] = art0 + i;
+  }
+
+  // Phase 1: minimize sum of artificials. Using the "positive reduced cost
+  // enters" convention, the cost row starts as sum of constraint rows over
+  // non-artificial columns.
+  std::vector<Rational> z(total_cols, Rational(0));
+  Rational z_rhs(0);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < art0; ++j) z[j] += t.a()[i][j];
+    z_rhs += t.b()[i];
+  }
+  if (!t.optimize(z, z_rhs, art0)) {
+    throw std::runtime_error("simplex: phase 1 unbounded (internal error)");
+  }
+  if (z_rhs > Rational(0)) {
+    return {LpStatus::kInfeasible, {}, Rational(0)};
+  }
+  // Drive any artificial still in the basis out (degenerate rows).
+  for (std::size_t i = 0; i < m; ++i) {
+    if (t.basis()[i] >= art0) {
+      std::size_t piv = art0;
+      for (std::size_t j = 0; j < art0; ++j) {
+        if (!t.a()[i][j].is_zero()) {
+          piv = j;
+          break;
+        }
+      }
+      if (piv < art0) {
+        t.pivot(i, piv, z, z_rhs);
+      }
+      // else: the row is all-zero over structural columns — redundant
+      // constraint; leaving the artificial basic at value 0 is harmless.
+    }
+  }
+
+  // Phase 2: minimize c'x. Build reduced costs for the current basis:
+  // row z = c_B B^-1 A - c over structural+surplus columns; artificials
+  // are excluded from pivoting.
+  std::vector<Rational> z2(total_cols, Rational(0));
+  Rational z2_rhs(0);
+  if (!lp.c.empty()) {
+    if (lp.c.size() != n) {
+      throw std::invalid_argument("solve_lp: objective size mismatch");
+    }
+    for (std::size_t j = 0; j < n; ++j) z2[j] = -lp.c[j];
+    // Make reduced costs of basic variables zero by adding multiples of rows.
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::size_t bj = t.basis()[i];
+      if (bj < n && !z2[bj].is_zero()) {
+        const Rational f = z2[bj];
+        for (std::size_t j = 0; j < total_cols; ++j) {
+          z2[j] -= f * t.a()[i][j];
+        }
+        z2_rhs -= f * t.b()[i];
+      }
+    }
+    if (!t.optimize(z2, z2_rhs, art0)) {
+      return {LpStatus::kUnbounded, {}, Rational(0)};
+    }
+  }
+
+  LpResult result;
+  result.status = LpStatus::kOptimal;
+  result.x.assign(n, Rational(0));
+  for (std::size_t i = 0; i < m; ++i) {
+    if (t.basis()[i] < n) result.x[t.basis()[i]] = t.b()[i];
+  }
+  // Invariant: the cost row is z = -c + sum_i lambda_i A_i with
+  // z_rhs = sum_i lambda_i b_i, so for the basic solution c'x == z_rhs.
+  result.objective = z2_rhs;
+  return result;
+}
+
+}  // namespace nck

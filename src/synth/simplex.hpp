@@ -1,0 +1,42 @@
+// Exact two-phase primal simplex over rationals (Bland's rule, so no
+// cycling). Sized for the QUBO-coefficient synthesis LPs: tens of columns,
+// up to a few thousand rows. Not a general-purpose LP library.
+#pragma once
+
+#include <vector>
+
+#include "synth/rational.hpp"
+
+namespace nck {
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded };
+
+struct LpResult {
+  LpStatus status = LpStatus::kInfeasible;
+  std::vector<Rational> x;  // primal solution (only when kOptimal)
+  Rational objective;
+};
+
+/// Linear program in the mixed form used by the synthesizer:
+///
+///   minimize    c' x
+///   subject to  A_eq x  = b_eq
+///               A_ge x >= b_ge
+///               x >= 0
+///
+/// All rows must have exactly `num_vars` entries.
+struct LinearProgram {
+  std::size_t num_vars = 0;
+  std::vector<std::vector<Rational>> a_eq;
+  std::vector<Rational> b_eq;
+  std::vector<std::vector<Rational>> a_ge;
+  std::vector<Rational> b_ge;
+  std::vector<Rational> c;  // size num_vars; empty means pure feasibility
+
+  void add_eq(std::vector<Rational> row, Rational rhs);
+  void add_ge(std::vector<Rational> row, Rational rhs);
+};
+
+LpResult solve_lp(const LinearProgram& lp);
+
+}  // namespace nck

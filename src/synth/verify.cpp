@@ -1,0 +1,55 @@
+#include "synth/verify.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace nck {
+
+SynthesisCheck verify_synthesis(const ConstraintPattern& pattern,
+                                const SynthesizedQubo& synth, double eps) {
+  SynthesisCheck check;
+  const std::size_t d = synth.num_vars;
+  const std::size_t a = synth.num_ancillas;
+  if (d != pattern.num_vars()) {
+    check.error = "variable count mismatch";
+    return check;
+  }
+  if (synth.qubo.num_variables() > d + a) {
+    check.error = "QUBO touches variables beyond d + a";
+    return check;
+  }
+  double min_violating = std::numeric_limits<double>::infinity();
+  std::vector<bool> x(d + a);
+  for (std::uint32_t xb = 0; xb < (1u << d); ++xb) {
+    double best = std::numeric_limits<double>::infinity();
+    for (std::uint32_t zb = 0; zb < (1u << a); ++zb) {
+      const std::uint32_t bits = xb | (zb << d);
+      for (std::size_t i = 0; i < d + a; ++i) x[i] = (bits >> i) & 1u;
+      best = std::min(best, synth.qubo.energy(x));
+    }
+    if (pattern.satisfied(xb)) {
+      if (std::abs(best) > eps) {
+        std::ostringstream os;
+        os << "valid assignment " << xb << " has ground energy " << best;
+        check.error = os.str();
+        return check;
+      }
+    } else {
+      min_violating = std::min(min_violating, best);
+      if (best < synth.gap - eps) {
+        std::ostringstream os;
+        os << "violating assignment " << xb << " has energy " << best
+           << " below gap " << synth.gap;
+        check.error = os.str();
+        return check;
+      }
+    }
+  }
+  check.ok = true;
+  check.observed_gap =
+      std::isinf(min_violating) ? synth.gap : min_violating;
+  return check;
+}
+
+}  // namespace nck

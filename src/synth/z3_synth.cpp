@@ -1,0 +1,127 @@
+#include "synth/z3_synth.hpp"
+
+#if NCK_HAVE_Z3
+
+#include <z3++.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.hpp"
+
+namespace nck {
+namespace {
+
+// Builds the symbolic energy f(bits) = offset + sum a_i + sum b_ij over the
+// monomials active in `bits`.
+z3::expr energy_expr(z3::context& ctx, const z3::expr& offset,
+                     const std::vector<z3::expr>& lin,
+                     const std::vector<std::vector<int>>& quad_index,
+                     const std::vector<z3::expr>& quad, std::uint32_t bits,
+                     std::size_t v) {
+  z3::expr e = offset;
+  for (std::size_t i = 0; i < v; ++i) {
+    if (!((bits >> i) & 1u)) continue;
+    e = e + lin[i];
+    for (std::size_t j = i + 1; j < v; ++j) {
+      if ((bits >> j) & 1u) e = e + quad[static_cast<std::size_t>(quad_index[i][j])];
+    }
+  }
+  return e;
+}
+
+}  // namespace
+
+std::optional<SynthesizedQubo> Z3Synthesizer::synthesize(
+    const ConstraintPattern& pattern) {
+  const std::size_t d = pattern.num_vars();
+
+  std::vector<std::uint32_t> valid = pattern.valid_assignments();
+  if (valid.empty()) return std::nullopt;
+
+  for (std::size_t a = 0; a <= options_.max_ancillas; ++a) {
+    const std::size_t v = d + a;
+    if (v > options_.max_vars) break;
+    const std::uint32_t num_z = 1u << a;
+
+    for (long long bound = options_.initial_bound; bound <= options_.max_bound;
+         bound *= 2) {
+      z3::context ctx;
+      z3::solver solver(ctx);
+
+      z3::expr offset = ctx.int_const("c");
+      std::vector<z3::expr> lin;
+      for (std::size_t i = 0; i < v; ++i) {
+        lin.push_back(ctx.int_const(("a" + std::to_string(i)).c_str()));
+      }
+      std::vector<std::vector<int>> quad_index(v, std::vector<int>(v, -1));
+      std::vector<z3::expr> quad;
+      for (std::size_t i = 0; i < v; ++i) {
+        for (std::size_t j = i + 1; j < v; ++j) {
+          quad_index[i][j] = static_cast<int>(quad.size());
+          quad.push_back(ctx.int_const(
+              ("b" + std::to_string(i) + "_" + std::to_string(j)).c_str()));
+        }
+      }
+
+      auto bound_var = [&](const z3::expr& e) {
+        solver.add(e >= ctx.int_val(static_cast<std::int64_t>(-bound)) &&
+                   e <= ctx.int_val(static_cast<std::int64_t>(bound)));
+      };
+      bound_var(offset);
+      for (const auto& e : lin) bound_var(e);
+      for (const auto& e : quad) bound_var(e);
+
+      for (std::uint32_t x = 0; x < (1u << d); ++x) {
+        const bool ok = pattern.satisfied(x);
+        z3::expr_vector ground_options(ctx);
+        for (std::uint32_t z = 0; z < num_z; ++z) {
+          const std::uint32_t bits = x | (z << d);
+          z3::expr f = energy_expr(ctx, offset, lin, quad_index, quad, bits, v);
+          if (ok) {
+            solver.add(f >= 0);
+            ground_options.push_back(f == 0);
+          } else {
+            solver.add(f >= 1);
+          }
+        }
+        if (ok) solver.add(z3::mk_or(ground_options));
+      }
+
+      if (solver.check() != z3::sat) continue;
+
+      z3::model model = solver.get_model();
+      auto value = [&](const z3::expr& e) {
+        return static_cast<double>(model.eval(e, true).get_numeral_int64());
+      };
+      SynthesizedQubo out;
+      out.num_vars = d;
+      out.num_ancillas = a;
+      out.gap = 1.0;
+      out.method = "z3";
+      Qubo q(v);
+      q.add_offset(value(offset));
+      for (std::size_t i = 0; i < v; ++i) {
+        q.add_linear(static_cast<Qubo::Var>(i), value(lin[i]));
+      }
+      for (std::size_t i = 0; i < v; ++i) {
+        for (std::size_t j = i + 1; j < v; ++j) {
+          const double c = value(quad[static_cast<std::size_t>(quad_index[i][j])]);
+          if (c != 0.0) {
+            q.add_quadratic(static_cast<Qubo::Var>(i),
+                            static_cast<Qubo::Var>(j), c);
+          }
+        }
+      }
+      out.qubo = std::move(q);
+      return out;
+    }
+    Log(LogLevel::kDebug) << "z3_synth: " << pattern.key() << " needs more than "
+                          << a << " ancillas (or larger coefficients)";
+  }
+  return std::nullopt;
+}
+
+}  // namespace nck
+
+#endif  // NCK_HAVE_Z3

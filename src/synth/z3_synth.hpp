@@ -1,0 +1,36 @@
+// Z3-backed constraint -> QUBO synthesis — the path the paper's NchooseK
+// implementation uses (Section V): coefficients become SMT integer unknowns,
+// the ground/gap conditions become assertions, and Z3 searches for a model.
+// Coefficient bounds escalate geometrically, which keeps the found QUBOs
+// small-coefficient and human-comparable (e.g. it recovers Eq. 3's XOR QUBO
+// up to ancilla symmetry).
+#pragma once
+
+#include "synth/synthesizer.hpp"
+
+#if NCK_HAVE_Z3
+
+namespace nck {
+
+struct Z3SynthOptions {
+  std::size_t max_ancillas = 3;
+  std::size_t max_vars = 10;      // d + a limit
+  long long initial_bound = 4;    // first coefficient magnitude bound
+  long long max_bound = 64;       // give up past this bound
+};
+
+class Z3Synthesizer final : public ConstraintSynthesizer {
+ public:
+  explicit Z3Synthesizer(Z3SynthOptions options = {}) : options_(options) {}
+
+  std::optional<SynthesizedQubo> synthesize(
+      const ConstraintPattern& pattern) override;
+  std::string name() const override { return "z3"; }
+
+ private:
+  Z3SynthOptions options_;
+};
+
+}  // namespace nck
+
+#endif  // NCK_HAVE_Z3

@@ -1,0 +1,41 @@
+// Minimal leveled logger. Libraries log sparingly (warnings about fallbacks,
+// embedding retries, optimizer non-convergence); benchmarks raise the level
+// to keep their table output clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace nck {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+namespace detail {
+void log_message(LogLevel level, const std::string& msg);
+}
+
+/// Stream-style one-shot log statement: Log(LogLevel::kWarn) << "...";
+class Log {
+ public:
+  explicit Log(LogLevel level) noexcept : level_(level) {}
+  ~Log() { detail::log_message(level_, out_.str()); }
+
+  Log(const Log&) = delete;
+  Log& operator=(const Log&) = delete;
+
+  template <typename T>
+  Log& operator<<(const T& value) {
+    out_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream out_;
+};
+
+}  // namespace nck

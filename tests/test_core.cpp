@@ -1,0 +1,326 @@
+#include <gtest/gtest.h>
+
+#include "core/compile.hpp"
+#include "core/env.hpp"
+#include "qubo/brute_force.hpp"
+#include "util/rng.hpp"
+
+namespace nck {
+namespace {
+
+TEST(Constraint, ValidationErrors) {
+  EXPECT_THROW(Constraint({}, {0}, ConstraintKind::kHard),
+               std::invalid_argument);
+  EXPECT_THROW(Constraint({0}, {}, ConstraintKind::kHard),
+               std::invalid_argument);
+  EXPECT_THROW(Constraint({0, 1}, {5}, ConstraintKind::kHard),
+               std::invalid_argument);
+}
+
+TEST(Constraint, DistinctVarsSortedByMultiplicity) {
+  // collection {5, 3, 5}: var 3 has multiplicity 1, var 5 has 2.
+  const Constraint c({5, 3, 5}, {1}, ConstraintKind::kHard);
+  EXPECT_EQ(c.distinct_vars(), (std::vector<VarId>{3, 5}));
+  EXPECT_EQ(c.pattern().multiplicities(), (std::vector<unsigned>{1, 2}));
+  EXPECT_EQ(c.cardinality(), 3u);
+}
+
+TEST(Constraint, SatisfiedCountsMultiplicity) {
+  const Constraint c({0, 1, 1}, {2}, ConstraintKind::kHard);
+  EXPECT_TRUE(c.satisfied({false, true}));   // 0 + 2*1 = 2
+  EXPECT_FALSE(c.satisfied({true, true}));   // 3
+  EXPECT_FALSE(c.satisfied({true, false}));  // 1
+}
+
+TEST(Constraint, SymmetryKeyMatchesDefinition7) {
+  // Same selection set + same cardinality => symmetric.
+  const Constraint a({0, 1, 2}, {0, 2}, ConstraintKind::kHard);
+  const Constraint b({1, 2, 3}, {0, 2}, ConstraintKind::kHard);
+  const Constraint c({1, 2, 3}, {1, 2}, ConstraintKind::kHard);
+  const Constraint d({1, 2}, {0, 2}, ConstraintKind::kHard);
+  EXPECT_EQ(a.symmetry_key(), b.symmetry_key());
+  EXPECT_NE(a.symmetry_key(), c.symmetry_key());
+  EXPECT_NE(a.symmetry_key(), d.symmetry_key());
+}
+
+TEST(Constraint, ToStringRendersPaperSyntax) {
+  const Constraint c({0, 1}, {0, 1}, ConstraintKind::kHard);
+  EXPECT_EQ(c.to_string({"a", "b"}), "nck({a, b}, {0, 1})");
+  const Constraint s({0}, {0}, ConstraintKind::kSoft);
+  EXPECT_EQ(s.to_string({"a"}), "nck({a}, {0}, soft)");
+}
+
+TEST(Env, VariableManagement) {
+  Env env;
+  const VarId a = env.new_var("a");
+  const VarId b = env.new_var();
+  EXPECT_EQ(env.num_vars(), 2u);
+  EXPECT_EQ(env.var_name(a), "a");
+  EXPECT_FALSE(env.var_name(b).empty());
+  EXPECT_EQ(env.var("a"), a);       // lookup
+  const VarId c = env.var("c");     // create on demand
+  EXPECT_EQ(env.num_vars(), 3u);
+  EXPECT_EQ(env.var("c"), c);
+  EXPECT_THROW(env.new_var("a"), std::invalid_argument);
+}
+
+TEST(Env, NewVarsWithPrefix) {
+  Env env;
+  const auto vars = env.new_vars(3, "x");
+  EXPECT_EQ(env.var_name(vars[0]), "x0");
+  EXPECT_EQ(env.var_name(vars[2]), "x2");
+}
+
+TEST(Env, NckRejectsUnknownVariable) {
+  Env env;
+  env.new_var("a");
+  EXPECT_THROW(env.nck({5}, {0}), std::invalid_argument);
+}
+
+TEST(Env, ConvenienceBuilders) {
+  Env env;
+  const auto v = env.new_vars(3, "v");
+  env.exactly({v[0], v[1]}, 1);
+  env.at_least({v[0], v[1], v[2]}, 2);
+  env.at_most({v[0], v[1]}, 1);
+  env.different(v[0], v[1]);
+  env.same(v[1], v[2]);
+  env.prefer_false(v[0]);
+  env.prefer_true(v[1]);
+  EXPECT_EQ(env.num_constraints(), 7u);
+  EXPECT_EQ(env.num_hard(), 5u);
+  EXPECT_EQ(env.num_soft(), 2u);
+
+  // at_least(2 of 3) selection should be {2, 3}.
+  EXPECT_EQ(env.constraints()[1].selection(), (std::set<unsigned>{2, 3}));
+  // at_most(1 of 2) selection should be {0, 1}.
+  EXPECT_EQ(env.constraints()[2].selection(), (std::set<unsigned>{0, 1}));
+}
+
+TEST(Env, EvaluateCountsHardAndSoft) {
+  // The paper's intro example: nck({a,b},{0,1}) && nck({b,c},{1}).
+  Env env;
+  const VarId a = env.var("a"), b = env.var("b"), c = env.var("c");
+  env.nck({a, b}, {0, 1});
+  env.nck({b, c}, {1});
+  env.prefer_false(a);
+
+  const Evaluation good = env.evaluate({false, false, true});
+  EXPECT_EQ(good.hard_violated, 0u);
+  EXPECT_EQ(good.soft_satisfied, 1u);
+  EXPECT_TRUE(good.feasible());
+
+  const Evaluation bad = env.evaluate({true, true, true});
+  EXPECT_EQ(bad.hard_violated, 2u);
+  EXPECT_FALSE(bad.feasible());
+}
+
+TEST(Env, NonsymmetricCountMinVertexCoverIsTwo) {
+  // Table I row 3: minimum vertex cover has exactly 2 non-symmetric
+  // constraint classes regardless of graph size.
+  Env env;
+  const auto v = env.new_vars(5, "v");
+  const std::pair<int, int> edges[] = {{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 4}};
+  for (auto [s, t] : edges) env.nck({v[s], v[t]}, {1, 2});
+  for (VarId x : v) env.prefer_false(x);
+  EXPECT_EQ(env.num_nonsymmetric(), 2u);
+  EXPECT_EQ(env.num_constraints(), 10u);
+}
+
+TEST(Env, ToStringIsConjunction) {
+  Env env;
+  const VarId a = env.var("a"), b = env.var("b");
+  env.nck({a, b}, {0, 1});
+  env.nck({a, b}, {1});
+  const std::string s = env.to_string();
+  EXPECT_NE(s.find("/\\"), std::string::npos);
+  EXPECT_NE(s.find("nck({a, b}, {0, 1})"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- compile
+
+// Helper: exhaustively find the best program-variable assignments of a
+// compiled QUBO (minimizing over ancillas).
+std::vector<std::vector<bool>> best_assignments(const Env& env,
+                                                const CompiledQubo& cq) {
+  const std::size_t n = cq.num_problem_vars;
+  const std::size_t a = cq.num_ancillas;
+  std::vector<std::vector<bool>> best;
+  double best_energy = std::numeric_limits<double>::infinity();
+  std::vector<bool> bits(n + a);
+  for (std::uint64_t x = 0; x < (1ull << n); ++x) {
+    double e_min = std::numeric_limits<double>::infinity();
+    for (std::uint64_t z = 0; z < (1ull << a); ++z) {
+      const std::uint64_t full = x | (z << n);
+      for (std::size_t i = 0; i < n + a; ++i) bits[i] = (full >> i) & 1u;
+      e_min = std::min(e_min, cq.qubo.energy(bits));
+    }
+    if (e_min < best_energy - 1e-9) {
+      best_energy = e_min;
+      best.clear();
+    }
+    if (e_min < best_energy + 1e-9) {
+      std::vector<bool> xb(n);
+      for (std::size_t i = 0; i < n; ++i) xb[i] = (x >> i) & 1u;
+      best.push_back(std::move(xb));
+    }
+  }
+  return best;
+}
+
+TEST(Compile, HardOnlyProgramGroundStatesAreSolutions) {
+  // Intro example: nck({a,b},{0,1}) && nck({b,c},{1}).
+  Env env;
+  const VarId a = env.var("a"), b = env.var("b"), c = env.var("c");
+  env.nck({a, b}, {0, 1});
+  env.nck({b, c}, {1});
+  const CompiledQubo cq = compile(env);
+  for (const auto& x : best_assignments(env, cq)) {
+    EXPECT_TRUE(env.evaluate(x).feasible());
+  }
+}
+
+TEST(Compile, MinimumVertexCoverGroundStatesAreMinimumCovers) {
+  // Section IV running example (Figs 2-5): 5 vertices, min cover size 3.
+  Env env;
+  const auto v = env.new_vars(5, "v");
+  const std::pair<int, int> edges[] = {{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 4}};
+  for (auto [s, t] : edges) env.nck({v[s], v[t]}, {1, 2});
+  for (VarId x : v) env.prefer_false(x);
+
+  const CompiledQubo cq = compile(env);
+  const auto best = best_assignments(env, cq);
+  ASSERT_FALSE(best.empty());
+  for (const auto& x : best) {
+    const auto eval = env.evaluate(x);
+    EXPECT_TRUE(eval.feasible());
+    // Minimum cover has 3 vertices -> exactly 2 soft constraints satisfied.
+    EXPECT_EQ(eval.soft_satisfied, 2u);
+    std::size_t cover_size = 0;
+    for (bool bit : x) cover_size += bit;
+    EXPECT_EQ(cover_size, 3u);
+  }
+}
+
+TEST(Compile, SoftViolationNeverBeatsHardViolation) {
+  // One hard constraint and many soft ones: breaking the hard constraint
+  // must cost more than ignoring every soft constraint.
+  Env env;
+  const auto v = env.new_vars(4, "v");
+  env.exactly({v[0], v[1]}, 1);  // hard
+  for (VarId x : v) env.prefer_true(x);
+  const CompiledQubo cq = compile(env);
+  EXPECT_GT(cq.hard_scale, cq.max_soft_energy);
+  for (const auto& x : best_assignments(env, cq)) {
+    EXPECT_TRUE(env.evaluate(x).feasible());
+  }
+}
+
+TEST(Compile, InfeasibleProgramStillCompiles) {
+  // The Section IV-B contradiction: three pairwise nck({.,.},{1}) over a
+  // triangle is unsatisfiable; compilation succeeds but no ground state is
+  // feasible.
+  Env env;
+  const auto v = env.new_vars(3, "v");
+  env.different(v[0], v[1]);
+  env.different(v[0], v[2]);
+  env.different(v[1], v[2]);
+  const CompiledQubo cq = compile(env);
+  for (const auto& x : best_assignments(env, cq)) {
+    EXPECT_FALSE(env.evaluate(x).feasible());
+  }
+}
+
+TEST(Compile, MaxCutSoftOnlyEncoding) {
+  // Section IV-C: one soft nck({u,v},{1}) per edge solves Max Cut.
+  // Square graph: max cut = 4.
+  Env env;
+  const auto v = env.new_vars(4, "v");
+  const std::pair<int, int> edges[] = {{0, 1}, {1, 2}, {2, 3}, {3, 0}};
+  for (auto [s, t] : edges) env.nck({v[s], v[t]}, {1}, ConstraintKind::kSoft);
+  const CompiledQubo cq = compile(env);
+  for (const auto& x : best_assignments(env, cq)) {
+    EXPECT_EQ(env.evaluate(x).soft_satisfied, 4u);
+  }
+}
+
+TEST(Compile, AncillasAppendedAfterProblemVars) {
+  Env env;
+  const auto v = env.new_vars(3, "v");
+  env.nck({v[0], v[1], v[2]}, {0, 2});  // XOR pattern needs one ancilla
+  const CompiledQubo cq = compile(env);
+  EXPECT_EQ(cq.num_problem_vars, 3u);
+  EXPECT_EQ(cq.num_ancillas, 1u);
+  EXPECT_EQ(cq.qubo.num_variables(), 4u);
+  const std::vector<bool> full{true, false, true, false};
+  EXPECT_EQ(cq.project(full), (std::vector<bool>{true, false, true}));
+}
+
+TEST(Compile, EngineStatsExposeCacheBehaviour) {
+  Env env;
+  const auto v = env.new_vars(6, "v");
+  for (int i = 0; i < 5; ++i) {
+    env.nck({v[static_cast<std::size_t>(i)], v[static_cast<std::size_t>(i) + 1]},
+            {1, 2});
+  }
+  SynthEngine engine;
+  compile(env, engine);
+  EXPECT_EQ(engine.stats().requests, 5u);
+  EXPECT_EQ(engine.stats().cache_hits, 4u);  // all edges share one pattern
+}
+
+// Property: for random small programs, QUBO ground states (minimized over
+// ancillas) coincide with the best assignments found by direct enumeration
+// of the constraint semantics.
+class CompileProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompileProperty, GroundStatesMatchSemantics) {
+  Rng rng(static_cast<std::uint64_t>(4242 + GetParam()));
+  Env env;
+  const std::size_t n = 3 + rng.below(3);
+  const auto vars = env.new_vars(n, "v");
+  const std::size_t num_constraints = 2 + rng.below(3);
+  for (std::size_t k = 0; k < num_constraints; ++k) {
+    const std::size_t size = 1 + rng.below(3);
+    std::vector<VarId> coll;
+    for (std::size_t i = 0; i < size; ++i) {
+      coll.push_back(vars[rng.below(n)]);
+    }
+    std::set<unsigned> sel;
+    for (unsigned s = 0; s <= coll.size(); ++s) {
+      if (rng.bernoulli(0.5)) sel.insert(s);
+    }
+    if (sel.empty()) sel.insert(static_cast<unsigned>(coll.size()));
+    env.nck(coll, sel, rng.bernoulli(0.3) ? ConstraintKind::kSoft
+                                          : ConstraintKind::kHard);
+  }
+
+  // Semantic optimum by enumeration: lexicographically (hard_violated,
+  // -soft_satisfied) minimal.
+  std::size_t best_hard = SIZE_MAX;
+  std::size_t best_soft = 0;
+  for (std::uint64_t bits = 0; bits < (1ull << n); ++bits) {
+    std::vector<bool> x(n);
+    for (std::size_t i = 0; i < n; ++i) x[i] = (bits >> i) & 1u;
+    const Evaluation e = env.evaluate(x);
+    if (e.hard_violated < best_hard ||
+        (e.hard_violated == best_hard && e.soft_satisfied > best_soft)) {
+      best_hard = e.hard_violated;
+      best_soft = e.soft_satisfied;
+    }
+  }
+  if (best_hard != 0) GTEST_SKIP() << "random program infeasible";
+
+  const CompiledQubo cq = compile(env);
+  for (const auto& x : best_assignments(env, cq)) {
+    const Evaluation e = env.evaluate(x);
+    EXPECT_EQ(e.hard_violated, 0u);
+    EXPECT_EQ(e.soft_satisfied, best_soft);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, CompileProperty,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace nck

@@ -1,0 +1,241 @@
+// Cross-module integration tests: text program -> compile -> serialize ->
+// backends -> classification, plus failure injection along the pipeline.
+#include <gtest/gtest.h>
+
+#include "anneal/backend.hpp"
+#include "anneal/topology.hpp"
+#include "classical/exact_solver.hpp"
+#include "core/compile.hpp"
+#include "core/parse.hpp"
+#include "graph/generators.hpp"
+#include "problems/vertex_cover.hpp"
+#include "qubo/brute_force.hpp"
+#include "qubo/io.hpp"
+#include "runtime/solver.hpp"
+#include "util/rng.hpp"
+
+namespace nck {
+namespace {
+
+TEST(Integration, TextProgramToClassicalAnswer) {
+  const Env env = parse_program(
+      "# minimum vertex cover of a triangle\n"
+      "nck({a, b}, {1, 2}) /\\ nck({a, c}, {1, 2}) /\\ nck({b, c}, {1, 2})\n"
+      "nck({a}, {0}, soft) nck({b}, {0}, soft) nck({c}, {0}, soft)\n");
+  const ClassicalSolution solution = solve_exact(env);
+  ASSERT_TRUE(solution.feasible);
+  // Triangle: min cover 2 -> exactly 1 soft satisfied.
+  EXPECT_EQ(solution.soft_satisfied, 1u);
+}
+
+TEST(Integration, CompiledQuboSurvivesSerialization) {
+  const VertexCoverProblem problem{cycle_graph(5)};
+  const CompiledQubo cq = compile(problem.encode());
+  const Qubo restored = qubo_from_text(qubo_to_text(cq.qubo));
+  const auto a = brute_force_minimize(cq.qubo);
+  const auto b = brute_force_minimize(restored);
+  EXPECT_NEAR(a.min_energy, b.min_energy, 1e-9);
+  EXPECT_EQ(a.ground_states, b.ground_states);
+}
+
+TEST(Integration, NoiselessAnnealerIsNearExact) {
+  const VertexCoverProblem problem{vertex_scaling_graph(9)};
+  const Env env = problem.encode();
+  const GroundTruth truth = ground_truth(env);
+  const Device device = perfect_device("pegasus-4", pegasus_graph(4));
+  SynthEngine engine;
+  Rng rng(42);
+  AnnealBackendOptions options;
+  options.sampler.num_reads = 50;
+  options.sampler.ice_sigma = 0.0;
+  options.sampler.readout_error = 0.0;
+  const AnnealOutcome outcome = run_annealer(env, device, engine, rng, options);
+  ASSERT_TRUE(outcome.embedded);
+  const QualityCounts counts = classify_all(outcome.evaluations, truth);
+  // Mixed hard/soft problem: the hard-over-soft bias shrinks the optimal/
+  // suboptimal gap (the paper's Section VIII-A observation), so demand a
+  // high *correct* rate and at least some optimal reads.
+  EXPECT_GT(counts.fraction_correct(), 0.9);
+  EXPECT_TRUE(counts.any_optimal());
+}
+
+TEST(Integration, PostprocessingNeverHurtsEnergy) {
+  const VertexCoverProblem problem{vertex_scaling_graph(12)};
+  const Env env = problem.encode();
+  const Device device = perfect_device("pegasus-4", pegasus_graph(4));
+  const GroundTruth truth = ground_truth(env);
+
+  auto run = [&](bool post) {
+    SynthEngine engine;
+    Rng rng(4242);
+    AnnealBackendOptions options;
+    options.sampler.num_reads = 60;
+    options.sampler.ice_sigma = 0.08;  // noisy so postprocessing matters
+    options.sampler.postprocess = post;
+    const AnnealOutcome outcome =
+        run_annealer(env, device, engine, rng, options);
+    EXPECT_TRUE(outcome.embedded);
+    return classify_all(outcome.evaluations, truth);
+  };
+  const QualityCounts without = run(false);
+  const QualityCounts with = run(true);
+  EXPECT_GE(with.optimal + with.suboptimal, without.optimal + without.suboptimal);
+}
+
+TEST(Integration, GaugeTransformPreservesSolutionQuality) {
+  // With zero noise the spin-reversal transform must be semantically
+  // invisible (same classification profile, statistically).
+  const VertexCoverProblem problem{vertex_scaling_graph(9)};
+  const Env env = problem.encode();
+  const Device device = perfect_device("pegasus-4", pegasus_graph(4));
+  const GroundTruth truth = ground_truth(env);
+  for (bool srt : {false, true}) {
+    SynthEngine engine;
+    Rng rng(9);
+    AnnealBackendOptions options;
+    options.sampler.num_reads = 40;
+    options.sampler.ice_sigma = 0.0;
+    options.sampler.readout_error = 0.0;
+    options.sampler.spin_reversal_transform = srt;
+    const AnnealOutcome outcome =
+        run_annealer(env, device, engine, rng, options);
+    ASSERT_TRUE(outcome.embedded);
+    const QualityCounts counts = classify_all(outcome.evaluations, truth);
+    EXPECT_GT(counts.fraction_correct(), 0.9) << "srt=" << srt;
+    EXPECT_TRUE(counts.any_optimal()) << "srt=" << srt;
+  }
+}
+
+TEST(Integration, HardScaleDominatesSoftInCompiledProblems) {
+  // Random mixed programs: the compiled QUBO's hard scale must exceed the
+  // total achievable soft penalty (the compile-time invariant behind
+  // Definition 6's semantics).
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    Env env;
+    const auto vars = env.new_vars(4 + rng.below(4), "v");
+    for (std::size_t k = 0; k < 4 + rng.below(4); ++k) {
+      std::vector<VarId> coll;
+      for (std::size_t i = 0; i < 1 + rng.below(3); ++i) {
+        coll.push_back(vars[rng.below(vars.size())]);
+      }
+      std::set<unsigned> sel{static_cast<unsigned>(rng.below(coll.size() + 1))};
+      env.nck(coll, sel,
+              rng.bernoulli(0.5) ? ConstraintKind::kSoft
+                                 : ConstraintKind::kHard);
+    }
+    const CompiledQubo cq = compile(env);
+    EXPECT_GT(cq.hard_scale, cq.max_soft_energy);
+  }
+}
+
+TEST(Integration, SolverReusesSynthesisCacheAcrossSolves) {
+  Solver solver(11);
+  const VertexCoverProblem p1{cycle_graph(4)};
+  const VertexCoverProblem p2{cycle_graph(6)};
+  solver.solve(p1.encode(), BackendKind::kClassical);
+  const std::size_t requests_before = solver.engine().stats().requests;
+  const std::size_t hits_before = solver.engine().stats().cache_hits;
+  solver.solve(p2.encode(), BackendKind::kClassical);
+  // Classical solves don't compile; run the annealer to force compilation.
+  solver.annealer_options().sampler.num_reads = 5;
+  solver.solve(p1.encode(), BackendKind::kAnnealer);
+  solver.solve(p2.encode(), BackendKind::kAnnealer);
+  EXPECT_GT(solver.engine().stats().requests, requests_before);
+  EXPECT_GT(solver.engine().stats().cache_hits, hits_before);
+}
+
+TEST(Integration, OversizedProblemFailsGracefullyOnTinyDevice) {
+  const VertexCoverProblem problem{complete_graph(10)};
+  const Device device = perfect_device("tiny", cycle_graph(12));
+  SynthEngine engine;
+  Rng rng(3);
+  AnnealBackendOptions options;
+  options.embed.max_passes = 8;
+  options.embed.tries = 1;
+  const AnnealOutcome outcome =
+      run_annealer(problem.encode(), device, engine, rng, options);
+  EXPECT_FALSE(outcome.embedded);
+  EXPECT_EQ(outcome.samples.size(), 0u);
+  EXPECT_GT(outcome.timing.client_compile_ms, 0.0);
+}
+
+TEST(Integration, EvaluationConsistencyAcrossPipeline) {
+  // For every sample a backend returns, re-evaluating through Env must
+  // reproduce the backend's classification inputs.
+  Solver solver(21);
+  solver.annealer_options().sampler.num_reads = 20;
+  const VertexCoverProblem problem{vertex_scaling_graph(6)};
+  const Env env = problem.encode();
+  const SolveReport report = solver.solve(env, BackendKind::kAnnealer);
+  ASSERT_TRUE(report.ran);
+  const Evaluation check = env.evaluate(report.best_assignment);
+  EXPECT_EQ(classify(check, report.truth), report.best_quality);
+}
+
+}  // namespace
+}  // namespace nck
+
+namespace nck {
+namespace {
+
+TEST(Integration, PresolveShrinksAnnealerFootprint) {
+  // A program with forced variables: nck({a},{1}) pins a; the remaining
+  // chain of different() constraints then cascades.
+  Env env;
+  const auto v = env.new_vars(6, "v");
+  env.exactly({v[0]}, 1);  // v0 == 1
+  for (std::size_t i = 0; i + 1 < 6; ++i) env.different(v[i], v[i + 1]);
+  const GroundTruth truth = ground_truth(env);
+  ASSERT_TRUE(truth.feasible);
+
+  const Device device = perfect_device("pegasus-2", pegasus_graph(2));
+  auto run = [&](bool use_presolve) {
+    SynthEngine engine;
+    Rng rng(77);
+    AnnealBackendOptions options;
+    options.sampler.num_reads = 20;
+    options.use_presolve = use_presolve;
+    return run_annealer(env, device, engine, rng, options);
+  };
+  const AnnealOutcome plain = run(false);
+  const AnnealOutcome reduced = run(true);
+  ASSERT_TRUE(plain.embedded);
+  ASSERT_TRUE(reduced.embedded);
+  EXPECT_GT(reduced.presolve_fixed, 0u);
+  EXPECT_LT(reduced.qubits_used, plain.qubits_used);
+  // Results stay correct: every read satisfies the forced value.
+  for (const auto& sample : reduced.samples) {
+    EXPECT_TRUE(sample[v[0]]);
+  }
+  const QualityCounts counts = classify_all(reduced.evaluations, truth);
+  EXPECT_TRUE(counts.any_optimal());
+}
+
+TEST(Integration, PresolveFullyPinnedProblemNeedsNoDevice) {
+  // Forced chain: every variable decided by presolve; the "annealer" never
+  // actually embeds anything (qubits_used == 0) yet answers perfectly.
+  Env env;
+  const auto v = env.new_vars(3, "v");
+  env.exactly({v[0]}, 1);
+  env.exactly({v[1]}, 0);
+  env.exactly({v[2]}, 1);
+  const Device device = perfect_device("pegasus-2", pegasus_graph(2));
+  SynthEngine engine;
+  Rng rng(78);
+  AnnealBackendOptions options;
+  options.sampler.num_reads = 10;
+  options.use_presolve = true;
+  const AnnealOutcome outcome = run_annealer(env, device, engine, rng, options);
+  ASSERT_TRUE(outcome.embedded);
+  EXPECT_EQ(outcome.qubits_used, 0u);
+  EXPECT_EQ(outcome.presolve_fixed, 3u);
+  for (const auto& sample : outcome.samples) {
+    EXPECT_TRUE(sample[0]);
+    EXPECT_FALSE(sample[1]);
+    EXPECT_TRUE(sample[2]);
+  }
+}
+
+}  // namespace
+}  // namespace nck

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/parse.hpp"
+#include "util/rng.hpp"
+
+namespace nck {
+namespace {
+
+TEST(Parse, IntroExample) {
+  const Env env = parse_program(
+      "nck({a, b}, {0, 1}) /\\ nck({b, c}, {1})");
+  EXPECT_EQ(env.num_vars(), 3u);
+  ASSERT_EQ(env.num_constraints(), 2u);
+  EXPECT_EQ(env.constraints()[0].selection(), (std::set<unsigned>{0, 1}));
+  EXPECT_EQ(env.constraints()[1].selection(), (std::set<unsigned>{1}));
+  EXPECT_EQ(env.num_hard(), 2u);
+}
+
+TEST(Parse, SoftMarkerAndComments) {
+  const Env env = parse_program(
+      "# minimize a\n"
+      "nck({a}, {0}, soft)\n"
+      "nck({a, b}, {1, 2})  # cover the edge\n");
+  EXPECT_EQ(env.num_soft(), 1u);
+  EXPECT_EQ(env.num_hard(), 1u);
+  EXPECT_TRUE(env.constraints()[0].soft());
+}
+
+TEST(Parse, SeparatorsAreOptional) {
+  const Env a = parse_program("nck({x},{1}) nck({y},{0})");
+  const Env b = parse_program("nck({x},{1}) /\\ nck({y},{0})");
+  EXPECT_EQ(a.num_constraints(), b.num_constraints());
+}
+
+TEST(Parse, RepeatedVariablesKeepMultiplicity) {
+  const Env env = parse_program("nck({x, y, y}, {2})");
+  const auto& c = env.constraints()[0];
+  EXPECT_EQ(c.cardinality(), 3u);
+  EXPECT_EQ(c.pattern().multiplicities(), (std::vector<unsigned>{1, 2}));
+}
+
+TEST(Parse, ExplicitHardMarker) {
+  const Env env = parse_program("nck({a}, {1}, hard)");
+  EXPECT_EQ(env.num_hard(), 1u);
+}
+
+TEST(Parse, SyntaxErrorsCarryLocation) {
+  try {
+    parse_program("nck({a}, {1})\nnck(oops");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Parse, RejectsMalformedInput) {
+  EXPECT_THROW(parse_program("nck({}, {1})"), ParseError);
+  EXPECT_THROW(parse_program("nck({a}, {})"), ParseError);
+  EXPECT_THROW(parse_program("nck({a} {1})"), ParseError);
+  EXPECT_THROW(parse_program("foo({a}, {1})"), ParseError);
+  EXPECT_THROW(parse_program("nck({a}, {1}, maybe)"), ParseError);
+  EXPECT_THROW(parse_program("nck({a}, {1}) @"), ParseError);
+}
+
+TEST(Parse, RejectsSemanticErrors) {
+  // Selection value exceeding cardinality is a semantic error from Env.
+  EXPECT_THROW(parse_program("nck({a, b}, {5})"), std::invalid_argument);
+}
+
+TEST(Parse, StreamOverload) {
+  std::istringstream in("nck({p, q}, {1})");
+  const Env env = parse_program(in);
+  EXPECT_EQ(env.num_vars(), 2u);
+}
+
+TEST(Parse, EmptyProgramIsEmpty) {
+  const Env env = parse_program("  # nothing here\n");
+  EXPECT_EQ(env.num_constraints(), 0u);
+}
+
+// Round trip: to_string output parses back to an equivalent program.
+class ParseRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParseRoundTrip, ToStringParsesBack) {
+  Rng rng(static_cast<std::uint64_t>(1300 + GetParam()));
+  Env original;
+  const auto vars = original.new_vars(3 + rng.below(4), "v");
+  const std::size_t n = vars.size();
+  for (std::size_t k = 0; k < 2 + rng.below(4); ++k) {
+    std::vector<VarId> coll;
+    for (std::size_t i = 0; i < 1 + rng.below(3); ++i) {
+      coll.push_back(vars[rng.below(n)]);
+    }
+    std::set<unsigned> sel;
+    for (unsigned s = 0; s <= coll.size(); ++s) {
+      if (rng.bernoulli(0.5)) sel.insert(s);
+    }
+    if (sel.empty()) sel.insert(0);
+    original.nck(coll, sel,
+                 rng.bernoulli(0.4) ? ConstraintKind::kSoft
+                                    : ConstraintKind::kHard);
+  }
+  const Env reparsed = parse_program(original.to_string());
+  ASSERT_EQ(reparsed.num_constraints(), original.num_constraints());
+  for (std::size_t i = 0; i < original.num_constraints(); ++i) {
+    EXPECT_EQ(reparsed.constraints()[i].selection(),
+              original.constraints()[i].selection());
+    EXPECT_EQ(reparsed.constraints()[i].cardinality(),
+              original.constraints()[i].cardinality());
+    EXPECT_EQ(reparsed.constraints()[i].soft(),
+              original.constraints()[i].soft());
+  }
+  // Behavioural equivalence on every assignment. Reparsed variable ids
+  // follow first *mention* order (and unmentioned variables vanish), so map
+  // assignments across by name.
+  std::vector<std::size_t> original_id_of(reparsed.num_vars());
+  for (std::size_t r = 0; r < reparsed.num_vars(); ++r) {
+    const std::string& name = reparsed.var_name(static_cast<VarId>(r));
+    const auto& names = original.var_names();
+    const auto it = std::find(names.begin(), names.end(), name);
+    ASSERT_NE(it, names.end());
+    original_id_of[r] = static_cast<std::size_t>(it - names.begin());
+  }
+  for (std::uint64_t bits = 0; bits < (1ull << n); ++bits) {
+    std::vector<bool> x(n);
+    for (std::size_t i = 0; i < n; ++i) x[i] = (bits >> i) & 1u;
+    std::vector<bool> xr(reparsed.num_vars());
+    for (std::size_t r = 0; r < xr.size(); ++r) x[original_id_of[r]] ? xr[r] = true : xr[r] = false;
+    const Evaluation a = original.evaluate(x);
+    const Evaluation b = reparsed.evaluate(xr);
+    EXPECT_EQ(a.hard_violated, b.hard_violated);
+    EXPECT_EQ(a.soft_satisfied, b.soft_satisfied);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, ParseRoundTrip,
+                         ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace nck
+
+namespace nck {
+namespace {
+
+// Fuzz-ish robustness: random byte strings must either parse or throw a
+// ParseError / std::invalid_argument — never crash or hang.
+class ParseFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParseFuzz, RandomInputNeverCrashes) {
+  Rng rng(static_cast<std::uint64_t>(9900 + GetParam()));
+  const char alphabet[] = "nck(){},01soft/\\ \t\n#ab_";
+  std::string text;
+  const std::size_t len = rng.below(200);
+  for (std::size_t i = 0; i < len; ++i) {
+    text.push_back(alphabet[rng.below(sizeof(alphabet) - 1)]);
+  }
+  try {
+    const Env env = parse_program(text);
+    (void)env.num_constraints();
+  } catch (const ParseError&) {
+  } catch (const std::invalid_argument&) {
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomBytes, ParseFuzz, ::testing::Range(0, 30));
+
+TEST(ParseFuzz, ArbitraryBinaryBytesRejected) {
+  std::string junk;
+  for (int i = 1; i < 128; i += 7) junk.push_back(static_cast<char>(i));
+  EXPECT_THROW(parse_program(junk), ParseError);
+}
+
+}  // namespace
+}  // namespace nck

@@ -1,0 +1,388 @@
+#include <gtest/gtest.h>
+
+#include "classical/exact_solver.hpp"
+#include "core/compile.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "problems/coloring.hpp"
+#include "problems/cover.hpp"
+#include "problems/ksat.hpp"
+#include "problems/max_cut.hpp"
+#include "problems/vertex_cover.hpp"
+#include "qubo/brute_force.hpp"
+#include "util/rng.hpp"
+
+namespace nck {
+namespace {
+
+Graph paper_graph() {  // the 5-vertex running example of Fig 2
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  return g;
+}
+
+// ------------------------------------------------------------ Vertex cover
+
+TEST(VertexCover, EncodingShape) {
+  const VertexCoverProblem p{paper_graph()};
+  const Env env = p.encode();
+  EXPECT_EQ(env.num_vars(), 5u);
+  EXPECT_EQ(env.num_hard(), 5u);  // one per edge
+  EXPECT_EQ(env.num_soft(), 5u);  // one per vertex
+  EXPECT_EQ(env.num_nonsymmetric(), 2u);  // Table I row 3
+}
+
+TEST(VertexCover, ExactSolverFindsMinimumCover) {
+  const VertexCoverProblem p{paper_graph()};
+  const auto solution = solve_exact(p.encode());
+  ASSERT_TRUE(solution.feasible);
+  EXPECT_TRUE(p.verify(solution.assignment));
+  EXPECT_EQ(p.cover_size(solution.assignment), p.optimal_cover_size());
+}
+
+TEST(VertexCover, HandcraftedQuboGroundStatesAreMinimumCovers) {
+  const VertexCoverProblem p{paper_graph()};
+  const auto result = brute_force_minimize(p.handcrafted_qubo());
+  for (const auto& gs : result.ground_states) {
+    EXPECT_TRUE(p.verify(gs));
+    EXPECT_EQ(p.cover_size(gs), 3u);
+  }
+}
+
+TEST(VertexCover, GeneratedQuboMatchesHandcraftedGroundStates) {
+  // Section VI-B claim: for vertex cover, the NchooseK-generated QUBO has
+  // the same minimizers as the handcrafted one.
+  const VertexCoverProblem p{paper_graph()};
+  const CompiledQubo cq = compile(p.encode());
+  ASSERT_EQ(cq.num_ancillas, 0u);  // {1,2} and {0} patterns need no ancillas
+  const auto generated = brute_force_minimize(cq.qubo);
+  const auto handcrafted = brute_force_minimize(p.handcrafted_qubo());
+  EXPECT_EQ(generated.ground_states, handcrafted.ground_states);
+}
+
+// ----------------------------------------------------------------- Max cut
+
+TEST(MaxCut, EncodingIsSoftOnly) {
+  const MaxCutProblem p{paper_graph()};
+  const Env env = p.encode();
+  EXPECT_EQ(env.num_hard(), 0u);
+  EXPECT_EQ(env.num_soft(), 5u);
+  EXPECT_EQ(env.num_nonsymmetric(), 1u);  // Table I row 7
+}
+
+TEST(MaxCut, ExactSolverFindsMaximumCut) {
+  const MaxCutProblem p{paper_graph()};
+  const auto solution = solve_exact(p.encode());
+  ASSERT_TRUE(solution.feasible);
+  EXPECT_EQ(solution.soft_satisfied, p.optimal_cut());
+  EXPECT_EQ(p.cut_of(solution.assignment), p.optimal_cut());
+}
+
+TEST(MaxCut, EdgeVarEncodingAgreesButIsBigger) {
+  const MaxCutProblem p{cycle_graph(4)};
+  const Env lean = p.encode();
+  const Env fat = p.encode_with_edge_vars();
+  EXPECT_GT(fat.num_vars(), lean.num_vars());
+  EXPECT_GT(fat.num_constraints(), lean.num_constraints());
+  const auto lean_solution = solve_exact(lean);
+  const auto fat_solution = solve_exact(fat);
+  ASSERT_TRUE(fat_solution.feasible);
+  // Same optimal cut through both encodings.
+  std::vector<bool> fat_sides(fat_solution.assignment.begin(),
+                              fat_solution.assignment.begin() + 4);
+  EXPECT_EQ(p.cut_of(fat_sides), p.cut_of(lean_solution.assignment));
+}
+
+TEST(MaxCut, HandcraftedQuboMinimizersAreMaxCuts) {
+  const MaxCutProblem p{cycle_graph(5)};
+  const auto result = brute_force_minimize(p.handcrafted_qubo());
+  for (const auto& gs : result.ground_states) {
+    EXPECT_EQ(p.cut_of(gs), p.optimal_cut());
+  }
+}
+
+// ---------------------------------------------------------------- Coloring
+
+TEST(MapColoring, EncodingShape) {
+  const MapColoringProblem p{cycle_graph(4), 3};
+  const Env env = p.encode();
+  EXPECT_EQ(env.num_vars(), 12u);             // |V| * n
+  EXPECT_EQ(env.num_constraints(), 4u + 12u); // |V| + n|E|
+  EXPECT_EQ(env.num_nonsymmetric(), 2u);      // Table I row 4
+}
+
+TEST(MapColoring, SolvesOddCycle) {
+  const MapColoringProblem p{cycle_graph(5), 3};
+  ASSERT_TRUE(p.feasible());
+  const auto solution = solve_exact(p.encode());
+  ASSERT_TRUE(solution.feasible);
+  EXPECT_TRUE(p.verify(solution.assignment));
+}
+
+TEST(MapColoring, InfeasibleWithTooFewColors) {
+  const MapColoringProblem p{cycle_graph(5), 2};
+  EXPECT_FALSE(p.feasible());
+  EXPECT_FALSE(solve_exact(p.encode()).feasible);
+}
+
+TEST(MapColoring, GeneratedQuboMatchesHandcrafted) {
+  // Section VI-B: the generated and handcrafted one-hot QUBOs agree on
+  // ground states (both exactly the proper colorings).
+  const MapColoringProblem p{path_graph(3), 2};
+  const CompiledQubo cq = compile(p.encode());
+  ASSERT_EQ(cq.num_ancillas, 0u);
+  const auto generated = brute_force_minimize(cq.qubo, 1u << 12);
+  const auto handcrafted = brute_force_minimize(p.handcrafted_qubo(), 1u << 12);
+  EXPECT_EQ(generated.ground_states, handcrafted.ground_states);
+  for (const auto& gs : generated.ground_states) EXPECT_TRUE(p.verify(gs));
+}
+
+TEST(DecodeOneHot, RejectsInvalidStates) {
+  EXPECT_FALSE(decode_one_hot({true, true, false, true}, 2, 2).has_value());
+  EXPECT_FALSE(decode_one_hot({false, false, false, true}, 2, 2).has_value());
+  const auto colors = decode_one_hot({true, false, false, true}, 2, 2);
+  ASSERT_TRUE(colors.has_value());
+  EXPECT_EQ(*colors, (std::vector<int>{0, 1}));
+}
+
+TEST(CliqueCover, TwoTrianglesNeedTwoCliques) {
+  Graph g(6);
+  for (int base : {0, 3}) {
+    g.add_edge(base, base + 1);
+    g.add_edge(base, base + 2);
+    g.add_edge(base + 1, base + 2);
+  }
+  const CliqueCoverProblem p2{g, 2};
+  ASSERT_TRUE(p2.feasible());
+  const auto solution = solve_exact(p2.encode());
+  ASSERT_TRUE(solution.feasible);
+  EXPECT_TRUE(p2.verify(solution.assignment));
+
+  const CliqueCoverProblem p1{g, 1};
+  EXPECT_FALSE(p1.feasible());
+  EXPECT_FALSE(solve_exact(p1.encode()).feasible);
+}
+
+TEST(CliqueCover, MoreEdgesMeanFewerConstraints) {
+  // Section VIII-A: adding edges *reduces* clique-cover constraints
+  // (constraints run over complement edges).
+  const CliqueCoverProblem sparse{edge_scaling_graph(6), 4};
+  const CliqueCoverProblem dense{edge_scaling_graph(30), 4};
+  EXPECT_GT(sparse.encode().num_constraints(),
+            dense.encode().num_constraints());
+}
+
+// ------------------------------------------------------------------- Cover
+
+TEST(SetSystem, RandomSystemHasPlantedExactCover) {
+  Rng rng(21);
+  const SetSystem system = random_set_system(12, 4, 6, rng);
+  EXPECT_EQ(system.subsets.size(), 10u);
+  // The first 4 subsets are the planted partition.
+  std::vector<bool> chosen(system.subsets.size(), false);
+  for (std::size_t i = 0; i < 4; ++i) chosen[i] = true;
+  const ExactCoverProblem p{system};
+  EXPECT_TRUE(p.verify(chosen));
+}
+
+TEST(ExactCover, SolverFindsCover) {
+  Rng rng(22);
+  const ExactCoverProblem p{random_set_system(10, 3, 5, rng)};
+  const auto solution = solve_exact(p.encode());
+  ASSERT_TRUE(solution.feasible);
+  EXPECT_TRUE(p.verify(solution.assignment));
+}
+
+TEST(ExactCover, GeneratedQuboMatchesHandcrafted) {
+  Rng rng(23);
+  const ExactCoverProblem p{random_set_system(8, 3, 3, rng)};
+  const CompiledQubo cq = compile(p.encode());
+  ASSERT_EQ(cq.num_ancillas, 0u);  // exactly-1 patterns are ancilla-free
+  const auto generated = brute_force_minimize(cq.qubo);
+  const auto handcrafted = brute_force_minimize(p.handcrafted_qubo());
+  EXPECT_EQ(generated.ground_states, handcrafted.ground_states);
+}
+
+TEST(MinSetCover, SolverFindsMinimumCover) {
+  Rng rng(24);
+  const MinSetCoverProblem p{random_set_system(10, 3, 5, rng)};
+  const auto solution = solve_exact(p.encode());
+  ASSERT_TRUE(solution.feasible);
+  EXPECT_TRUE(p.verify(solution.assignment));
+  EXPECT_EQ(p.cover_size(solution.assignment), p.optimal_cover_size());
+}
+
+TEST(MinSetCover, HandcraftedQuboMinimizersAreMinimumCovers) {
+  Rng rng(25);
+  // Small system so the counter-variable QUBO stays brute-forceable.
+  const MinSetCoverProblem p{random_set_system(4, 2, 2, rng)};
+  const Qubo q = p.handcrafted_qubo();
+  ASSERT_LE(q.num_variables(), 30u);
+  const auto result = brute_force_minimize(q);
+  ASSERT_FALSE(result.ground_states.empty());
+  for (const auto& gs : result.ground_states) {
+    std::vector<bool> chosen(gs.begin(), gs.begin() + 4);
+    EXPECT_TRUE(p.verify(chosen));
+    EXPECT_EQ(p.cover_size(chosen), p.optimal_cover_size());
+  }
+}
+
+TEST(MinSetCover, NeedsMoreTermsThanExactCover) {
+  // Table I: min set cover's handcrafted QUBO (with counters) dwarfs exact
+  // cover's on the same system.
+  Rng rng(26);
+  const SetSystem system = random_set_system(8, 3, 4, rng);
+  const ExactCoverProblem ec{system};
+  const MinSetCoverProblem msc{system};
+  EXPECT_GT(msc.handcrafted_qubo().num_terms(),
+            ec.handcrafted_qubo().num_terms());
+}
+
+// -------------------------------------------------------------------- kSAT
+
+TEST(KSat, PlantedInstancesAreSatisfiable) {
+  Rng rng(27);
+  for (int trial = 0; trial < 5; ++trial) {
+    const KSatInstance instance = random_ksat(8, 20, 3, rng);
+    const KSatProblem p{instance};
+    const auto solution = solve_exact(p.encode_dual_rail());
+    ASSERT_TRUE(solution.feasible) << "trial " << trial;
+    EXPECT_TRUE(p.verify(solution.assignment));
+  }
+}
+
+TEST(KSat, DualRailShape) {
+  Rng rng(28);
+  const KSatProblem p{random_ksat(6, 10, 3, rng)};
+  const Env env = p.encode_dual_rail();
+  EXPECT_EQ(env.num_vars(), 12u);          // n + n companions
+  EXPECT_EQ(env.num_constraints(), 16u);   // n rail + m clause
+  EXPECT_LE(env.num_nonsymmetric(), 2u);   // two classes (Section VI-A-f)
+}
+
+TEST(KSat, RepeatedEncodingAgreesWithDualRail) {
+  Rng rng(29);
+  for (int trial = 0; trial < 5; ++trial) {
+    const KSatProblem p{random_ksat(6, 12, 3, rng)};
+    const Env repeated = p.encode_repeated();
+    EXPECT_EQ(repeated.num_vars(), 6u);  // no companion variables
+    const auto solution = solve_exact(repeated);
+    ASSERT_TRUE(solution.feasible) << "trial " << trial;
+    EXPECT_TRUE(p.verify(solution.assignment)) << "trial " << trial;
+  }
+}
+
+TEST(KSat, UnplantedUnsatDetected) {
+  // x and !x clauses of width 1... use k=1 clauses to force contradiction.
+  KSatInstance instance;
+  instance.num_vars = 1;
+  instance.clauses = {{{0, false}}, {{0, true}}};
+  const KSatProblem p{instance};
+  EXPECT_FALSE(solve_exact(p.encode_dual_rail()).feasible);
+  EXPECT_FALSE(solve_exact(p.encode_repeated()).feasible);
+}
+
+TEST(KSat, InstanceEvaluation) {
+  KSatInstance instance;
+  instance.num_vars = 3;
+  instance.clauses = {{{0, false}, {1, false}, {2, true}},
+                      {{1, true}, {2, false}, {0, true}}};
+  EXPECT_TRUE(instance.satisfied({true, false, false}));
+  EXPECT_EQ(instance.num_satisfied({false, false, true}), 1u);
+}
+
+// --------------------------------------------- Table I complexity sweeps
+
+class Table1Property : public ::testing::TestWithParam<int> {};
+
+TEST_P(Table1Property, ConstraintCountsMatchFormulas) {
+  Rng rng(static_cast<std::uint64_t>(5000 + GetParam()));
+  const std::size_t n = 6 + rng.below(6);
+  const Graph g = random_connected_gnm(n, n + rng.below(n), rng);
+  const std::size_t V = g.num_vertices(), E = g.num_edges();
+
+  // Min vertex cover: |E| hard + |V| soft.
+  const Env vc = VertexCoverProblem{g}.encode();
+  EXPECT_EQ(vc.num_constraints(), E + V);
+
+  // Max cut: |E| constraints.
+  const Env mc = MaxCutProblem{g}.encode();
+  EXPECT_EQ(mc.num_constraints(), E);
+
+  // Map coloring with c colors: |V| + c|E|.
+  const int colors = 3;
+  const Env col = MapColoringProblem{g, colors}.encode();
+  EXPECT_EQ(col.num_constraints(), V + static_cast<std::size_t>(colors) * E);
+
+  // Clique cover with c cliques: |V| + c * (complement edges).
+  const std::size_t comp = V * (V - 1) / 2 - E;
+  const Env cc = CliqueCoverProblem{g, colors}.encode();
+  EXPECT_EQ(cc.num_constraints(), V + static_cast<std::size_t>(colors) * comp);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, Table1Property, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace nck
+
+namespace nck {
+namespace {
+
+TEST(KSatMis, GroundStatesDecodeToSatisfyingAssignments) {
+  Rng rng(31);
+  const KSatProblem p{random_ksat(4, 6, 3, rng)};
+  const Qubo mis = p.handcrafted_mis_qubo();
+  ASSERT_LE(mis.num_variables(), 20u);
+  const auto result = brute_force_minimize(mis);
+  // Satisfiable instance: minimum is exactly -m (one pick per clause).
+  EXPECT_DOUBLE_EQ(result.min_energy,
+                   -static_cast<double>(p.instance.clauses.size()));
+  for (const auto& gs : result.ground_states) {
+    const auto assignment = p.decode_mis(gs);
+    ASSERT_TRUE(assignment.has_value());
+    EXPECT_TRUE(p.instance.satisfied(*assignment));
+  }
+}
+
+TEST(KSatMis, UnsatInstanceHasShallowerMinimum) {
+  // (x) and (!x) as 1-SAT clauses: MIS of size 2 impossible.
+  KSatInstance instance;
+  instance.num_vars = 1;
+  instance.clauses = {{{0, false}}, {{0, true}}};
+  const KSatProblem p{instance};
+  const auto result = brute_force_minimize(p.handcrafted_mis_qubo());
+  EXPECT_GT(result.min_energy, -2.0 + 1e-9);
+  for (const auto& gs : result.ground_states) {
+    EXPECT_FALSE(p.decode_mis(gs).has_value());
+  }
+}
+
+TEST(KSatMis, TermCountMatchesTableOneOrder) {
+  // O(k m^2 + k^2 m): dominated by conflict pairs between opposite literals.
+  Rng rng(32);
+  const KSatProblem small{random_ksat(6, 10, 3, rng)};
+  const KSatProblem big{random_ksat(6, 30, 3, rng)};
+  const std::size_t small_terms = small.handcrafted_mis_qubo().num_terms();
+  const std::size_t big_terms = big.handcrafted_mis_qubo().num_terms();
+  // Tripling m should grow terms super-linearly (m^2 conflict pairs).
+  EXPECT_GT(big_terms, 3 * small_terms);
+  // And the NchooseK encoding stays linear in m.
+  EXPECT_EQ(big.encode_repeated().num_constraints(), 30u);
+}
+
+TEST(KSatMis, DecodeRejectsBadSelections) {
+  Rng rng(33);
+  const KSatProblem p{random_ksat(3, 4, 2, rng)};
+  const std::size_t nodes = p.handcrafted_mis_qubo().num_variables();
+  // Empty selection: not a full cover of clauses.
+  EXPECT_FALSE(p.decode_mis(std::vector<bool>(nodes, false)).has_value());
+  // Everything selected: clause cliques violated.
+  EXPECT_FALSE(p.decode_mis(std::vector<bool>(nodes, true)).has_value());
+}
+
+}  // namespace
+}  // namespace nck

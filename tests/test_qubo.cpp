@@ -1,0 +1,350 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <sstream>
+
+#include "qubo/brute_force.hpp"
+#include "qubo/heuristic.hpp"
+#include "qubo/io.hpp"
+#include "qubo/ising.hpp"
+#include "qubo/qubo.hpp"
+#include "util/rng.hpp"
+
+namespace nck {
+namespace {
+
+Qubo random_qubo(std::size_t n, Rng& rng, double density = 0.5) {
+  Qubo q(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    q.add_linear(static_cast<Qubo::Var>(i), rng.between(-5, 5));
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (rng.bernoulli(density)) {
+        q.add_quadratic(static_cast<Qubo::Var>(i), static_cast<Qubo::Var>(j),
+                        rng.between(-5, 5));
+      }
+    }
+  }
+  q.add_offset(rng.between(-3, 3));
+  return q;
+}
+
+TEST(Qubo, EnergyOfPaperVertexCoverQubo) {
+  // f(a, b) = ab - a - b from Section V, minimized when at least one is 1.
+  Qubo q;
+  q.add_quadratic(0, 1, 1.0);
+  q.add_linear(0, -1.0);
+  q.add_linear(1, -1.0);
+  EXPECT_DOUBLE_EQ(q.energy({false, false}), 0.0);
+  EXPECT_DOUBLE_EQ(q.energy({true, false}), -1.0);
+  EXPECT_DOUBLE_EQ(q.energy({false, true}), -1.0);
+  EXPECT_DOUBLE_EQ(q.energy({true, true}), -1.0);
+}
+
+TEST(Qubo, QuadraticAccumulatesUnordered) {
+  Qubo q;
+  q.add_quadratic(2, 5, 1.5);
+  q.add_quadratic(5, 2, 0.5);
+  EXPECT_DOUBLE_EQ(q.quadratic(2, 5), 2.0);
+  EXPECT_DOUBLE_EQ(q.quadratic(5, 2), 2.0);
+  EXPECT_EQ(q.num_variables(), 6u);
+}
+
+TEST(Qubo, DiagonalFoldsToLinear) {
+  Qubo q;
+  q.add_quadratic(3, 3, 2.0);
+  EXPECT_DOUBLE_EQ(q.linear(3), 2.0);
+  EXPECT_EQ(q.num_quadratic_terms(), 0u);
+}
+
+TEST(Qubo, TermCounts) {
+  Qubo q;
+  q.add_linear(0, 1.0);
+  q.add_linear(1, 0.0);  // zero: not counted
+  q.add_quadratic(0, 1, -2.0);
+  q.add_quadratic(1, 2, 1e-12);  // below eps: not counted
+  EXPECT_EQ(q.num_linear_terms(), 1u);
+  EXPECT_EQ(q.num_quadratic_terms(), 1u);
+  EXPECT_EQ(q.num_terms(), 2u);
+}
+
+TEST(Qubo, CompositionIsAdditive) {
+  Rng rng(5);
+  const Qubo a = random_qubo(6, rng);
+  const Qubo b = random_qubo(6, rng);
+  const Qubo sum = a + b;
+  std::vector<bool> x(6);
+  for (std::uint32_t bits = 0; bits < 64; ++bits) {
+    for (std::size_t i = 0; i < 6; ++i) x[i] = (bits >> i) & 1u;
+    EXPECT_NEAR(sum.energy(x), a.energy(x) + b.energy(x), 1e-9);
+  }
+}
+
+TEST(Qubo, ScalePreservesMinimizers) {
+  Rng rng(6);
+  const Qubo q = random_qubo(5, rng);
+  Qubo scaled = q;
+  scaled.scale(3.5);
+  const auto r1 = brute_force_minimize(q);
+  const auto r2 = brute_force_minimize(scaled);
+  EXPECT_EQ(r1.ground_states, r2.ground_states);
+  EXPECT_NEAR(r2.min_energy, 3.5 * r1.min_energy, 1e-9);
+  EXPECT_THROW(scaled.scale(-1.0), std::invalid_argument);
+}
+
+TEST(Qubo, RemappedRelabelsVariables) {
+  Qubo q;
+  q.add_linear(0, 1.0);
+  q.add_quadratic(0, 1, 2.0);
+  const std::vector<Qubo::Var> mapping{7, 3};
+  const Qubo r = q.remapped(mapping);
+  EXPECT_DOUBLE_EQ(r.linear(7), 1.0);
+  EXPECT_DOUBLE_EQ(r.quadratic(3, 7), 2.0);
+  EXPECT_EQ(r.num_variables(), 8u);
+}
+
+TEST(Qubo, EnergyRejectsShortAssignment) {
+  Qubo q;
+  q.add_linear(4, 1.0);
+  EXPECT_THROW(q.energy({true, false}), std::invalid_argument);
+}
+
+TEST(Qubo, ToStringReadable) {
+  Qubo q;
+  q.add_offset(1.0);
+  q.add_linear(0, -1.0);
+  q.add_quadratic(0, 1, 1.0);
+  const std::string s = q.to_string();
+  EXPECT_NE(s.find("x0"), std::string::npos);
+  EXPECT_NE(s.find("x0*x1"), std::string::npos);
+}
+
+TEST(Ising, RoundTripPreservesEnergies) {
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Qubo q = random_qubo(6, rng);
+    const IsingModel m = qubo_to_ising(q);
+    const Qubo back = ising_to_qubo(m);
+    std::vector<bool> x(6);
+    for (std::uint32_t bits = 0; bits < 64; ++bits) {
+      for (std::size_t i = 0; i < 6; ++i) x[i] = (bits >> i) & 1u;
+      // QUBO energy at x == Ising energy at s = 2x - 1 (same bool encoding).
+      EXPECT_NEAR(q.energy(x), m.energy(x), 1e-9);
+      EXPECT_NEAR(q.energy(x), back.energy(x), 1e-9);
+    }
+  }
+}
+
+TEST(Ising, MaxCutConversionAddsLinearTerms) {
+  // The paper (Table I, max cut) notes Ising -> QUBO conversion raises
+  // O(|E|) to O(|E| + |V|): pure couplers gain linear terms.
+  IsingModel m;
+  m.h.assign(3, 0.0);
+  m.j = {{0, 1, 1.0}, {1, 2, 1.0}};
+  const Qubo q = ising_to_qubo(m);
+  EXPECT_EQ(q.num_quadratic_terms(), 2u);
+  EXPECT_GT(q.num_linear_terms(), 0u);
+}
+
+TEST(BruteForce, FindsAllGroundStates) {
+  // x0 XOR x1 penalty: equal assignments are ground.
+  Qubo q;
+  q.add_linear(0, 1.0);
+  q.add_linear(1, 1.0);
+  q.add_quadratic(0, 1, -2.0);
+  const auto r = brute_force_minimize(q);
+  EXPECT_DOUBLE_EQ(r.min_energy, 0.0);
+  ASSERT_EQ(r.ground_states.size(), 2u);
+  EXPECT_EQ(r.ground_states[0], (std::vector<bool>{false, false}));
+  EXPECT_EQ(r.ground_states[1], (std::vector<bool>{true, true}));
+  EXPECT_FALSE(r.truncated);
+}
+
+TEST(BruteForce, TruncationFlag) {
+  const Qubo q(4);  // all-zero: every state is ground
+  const auto r = brute_force_minimize(q, 5);
+  EXPECT_TRUE(r.truncated);
+  EXPECT_EQ(r.ground_states.size(), 5u);
+}
+
+TEST(BruteForce, RejectsHugeProblems) {
+  const Qubo q(31);
+  EXPECT_THROW(brute_force_minimize(q), std::invalid_argument);
+}
+
+TEST(BruteForce, FixedVariablesRestrictSearch) {
+  Qubo q;
+  q.add_linear(0, -1.0);
+  q.add_linear(1, 2.0);
+  // Unconstrained min: x0=1, x1=0 -> -1. Forcing x0=0: min 0.
+  const std::vector<int> fixed{0, -1};
+  EXPECT_DOUBLE_EQ(brute_force_min_energy_with_fixed(q, fixed), 0.0);
+  EXPECT_DOUBLE_EQ(brute_force_min_energy(q), -1.0);
+}
+
+TEST(Heuristic, AnnealFindsGroundOfSmallProblems) {
+  Rng rng(11);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Qubo q = random_qubo(10, rng);
+    const double exact = brute_force_min_energy(q);
+    Rng sampler_rng(100 + trial);
+    const auto samples = anneal(q, {}, 32, sampler_rng);
+    ASSERT_FALSE(samples.empty());
+    EXPECT_NEAR(samples.front().energy, exact, 1e-9)
+        << "trial " << trial;
+    // Sorted ascending by energy.
+    for (std::size_t i = 1; i < samples.size(); ++i) {
+      EXPECT_LE(samples[i - 1].energy, samples[i].energy);
+    }
+  }
+}
+
+TEST(Heuristic, GreedyDescentReachesLocalMinimum) {
+  Rng rng(12);
+  const Qubo q = random_qubo(8, rng);
+  const Sample s = greedy_descent(q, std::vector<bool>(8, false));
+  // No single flip improves.
+  for (std::size_t i = 0; i < 8; ++i) {
+    auto flipped = s.x;
+    flipped[i] = !flipped[i];
+    EXPECT_GE(q.energy(flipped), s.energy - 1e-9);
+  }
+  EXPECT_NEAR(q.energy(s.x), s.energy, 1e-9);
+}
+
+TEST(Heuristic, BoltzmannPrefersLowEnergy) {
+  // Single variable with energy gap: P(x=1)/P(x=0) should be ~exp(-beta).
+  Qubo q;
+  q.add_linear(0, 1.0);
+  Rng rng(13);
+  const auto samples = boltzmann_sample(q, 2.0, 4000, rng);
+  std::size_t ones = 0;
+  for (const auto& s : samples) {
+    if (s.x[0]) ++ones;
+  }
+  const double p1 = static_cast<double>(ones) / samples.size();
+  const double expected = std::exp(-2.0) / (1.0 + std::exp(-2.0));
+  EXPECT_NEAR(p1, expected, 0.03);
+}
+
+TEST(Io, RoundTrip) {
+  Rng rng(14);
+  const Qubo q = random_qubo(7, rng);
+  const std::string text = qubo_to_text(q);
+  const Qubo back = qubo_from_text(text);
+  EXPECT_EQ(back.num_variables(), q.num_variables());
+  std::vector<bool> x(7);
+  for (std::uint32_t bits = 0; bits < 128; ++bits) {
+    for (std::size_t i = 0; i < 7; ++i) x[i] = (bits >> i) & 1u;
+    EXPECT_NEAR(back.energy(x), q.energy(x), 1e-9);
+  }
+}
+
+TEST(Io, RejectsMalformedInput) {
+  EXPECT_THROW(qubo_from_text("0 1 2.0\n"), std::runtime_error);  // no header
+  EXPECT_THROW(qubo_from_text("p qubo x\n"), std::runtime_error);
+  EXPECT_THROW(qubo_from_text("p qubo 0 2 1 0\n0 bad 1\n"), std::runtime_error);
+}
+
+// Property sweep: brute force on random QUBOs agrees with a slow reference
+// evaluation of the reported ground states.
+class BruteForceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BruteForceProperty, GroundStatesHaveMinEnergy) {
+  Rng rng(static_cast<std::uint64_t>(1000 + GetParam()));
+  const Qubo q = random_qubo(4 + GetParam() % 6, rng);
+  const auto r = brute_force_minimize(q);
+  ASSERT_FALSE(r.ground_states.empty());
+  for (const auto& gs : r.ground_states) {
+    EXPECT_NEAR(q.energy(gs), r.min_energy, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomQubos, BruteForceProperty,
+                         ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace nck
+
+#include "qubo/presolve.hpp"
+
+namespace nck {
+namespace {
+
+TEST(Presolve, FixesObviouslyPositiveAndNegativeVariables) {
+  Qubo q;
+  q.add_linear(0, 3.0);   // always harmful -> fix 0
+  q.add_linear(1, -2.0);  // always helpful -> fix 1
+  q.add_quadratic(0, 1, 1.0);
+  const PresolveResult r = presolve(q);
+  EXPECT_EQ(r.fixed[0], 0);
+  EXPECT_EQ(r.fixed[1], 1);
+  EXPECT_EQ(r.num_fixed, 2u);
+}
+
+TEST(Presolve, CascadesThroughFixings) {
+  // x1 fixable to 1 only after x0 is fixed to 0 (the +5 coupling vanishes).
+  Qubo q;
+  q.add_linear(0, 10.0);
+  q.add_linear(1, -1.0);
+  q.add_quadratic(0, 1, 5.0);
+  const PresolveResult r = presolve(q);
+  EXPECT_EQ(r.fixed[0], 0);
+  EXPECT_EQ(r.fixed[1], 1);
+  EXPECT_GE(r.rounds, 1u);
+}
+
+TEST(Presolve, LeavesFrustratedVariablesFree) {
+  // XOR-like structure: neither variable is decidable alone.
+  Qubo q;
+  q.add_linear(0, 1.0);
+  q.add_linear(1, 1.0);
+  q.add_quadratic(0, 1, -2.0);
+  const PresolveResult r = presolve(q);
+  EXPECT_EQ(r.fixed[0], -1);
+  EXPECT_EQ(r.fixed[1], -1);
+  EXPECT_EQ(r.num_fixed, 0u);
+}
+
+TEST(Presolve, CompleteMergesFixedValues) {
+  Qubo q;
+  q.add_linear(0, 3.0);
+  q.add_linear(1, -2.0);
+  q.add_linear(2, 0.5);
+  q.add_quadratic(1, 2, -1.0);
+  const PresolveResult r = presolve(q);
+  const auto full = r.complete({false, false, true});
+  EXPECT_FALSE(full[0]);  // fixed 0 overrides
+  EXPECT_TRUE(full[1]);   // fixed 1 overrides
+}
+
+class PresolveProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PresolveProperty, PreservesMinimumEnergy) {
+  Rng rng(static_cast<std::uint64_t>(8600 + GetParam()));
+  const Qubo q = random_qubo(8, rng, 0.4);
+  const PresolveResult r = presolve(q);
+  const double original_min = brute_force_min_energy(q);
+  // Minimize the reduced problem with fixed variables pinned.
+  const double reduced_min =
+      brute_force_min_energy_with_fixed(r.reduced, r.fixed);
+  EXPECT_NEAR(original_min, reduced_min, 1e-9);
+  // And a reduced minimizer completes into an original minimizer.
+  auto reduced = brute_force_minimize(r.reduced);
+  bool found_valid = false;
+  for (const auto& gs : reduced.ground_states) {
+    bool respects = true;
+    for (std::size_t i = 0; i < r.fixed.size(); ++i) {
+      if (r.fixed[i] != -1 && gs[i] != (r.fixed[i] == 1)) respects = false;
+    }
+    if (!respects) continue;
+    found_valid = true;
+    EXPECT_NEAR(q.energy(r.complete(gs)), original_min, 1e-9);
+  }
+  EXPECT_TRUE(found_valid);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomQubos, PresolveProperty, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace nck

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "problems/max_cut.hpp"
+#include "problems/vertex_cover.hpp"
+#include "runtime/result.hpp"
+#include "runtime/solver.hpp"
+
+namespace nck {
+namespace {
+
+Graph paper_graph() {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  return g;
+}
+
+TEST(Classify, Definition8Semantics) {
+  GroundTruth truth{true, 3};
+  Evaluation optimal{0, 3, 5};
+  Evaluation suboptimal{0, 2, 5};
+  Evaluation incorrect{1, 3, 5};
+  EXPECT_EQ(classify(optimal, truth), Quality::kOptimal);
+  EXPECT_EQ(classify(suboptimal, truth), Quality::kSuboptimal);
+  EXPECT_EQ(classify(incorrect, truth), Quality::kIncorrect);
+  EXPECT_STREQ(quality_name(Quality::kOptimal), "optimal");
+}
+
+TEST(Classify, HardOnlyProgramsHaveNoSuboptimal) {
+  // With zero soft constraints, every feasible assignment is optimal.
+  GroundTruth truth{true, 0};
+  EXPECT_EQ(classify({0, 0, 0}, truth), Quality::kOptimal);
+  EXPECT_EQ(classify({2, 0, 0}, truth), Quality::kIncorrect);
+}
+
+TEST(Classify, CountsAggregate) {
+  GroundTruth truth{true, 2};
+  std::vector<Evaluation> evals{{0, 2, 3}, {0, 1, 3}, {1, 0, 3}, {0, 2, 3}};
+  const QualityCounts counts = classify_all(evals, truth);
+  EXPECT_EQ(counts.optimal, 2u);
+  EXPECT_EQ(counts.suboptimal, 1u);
+  EXPECT_EQ(counts.incorrect, 1u);
+  EXPECT_DOUBLE_EQ(counts.fraction_optimal(), 0.5);
+  EXPECT_DOUBLE_EQ(counts.fraction_correct(), 0.75);
+  EXPECT_TRUE(counts.any_optimal());
+}
+
+TEST(GroundTruthTest, ComputedFromExactSolver) {
+  const VertexCoverProblem p{paper_graph()};
+  const GroundTruth truth = ground_truth(p.encode());
+  EXPECT_TRUE(truth.feasible);
+  EXPECT_EQ(truth.best_soft_satisfied, 2u);  // min cover 3 of 5 vertices
+}
+
+TEST(SolverFacade, ClassicalBackendIsAlwaysOptimal) {
+  Solver solver(42);
+  const VertexCoverProblem p{paper_graph()};
+  const SolveReport report = solver.solve(p.encode(), BackendKind::kClassical);
+  ASSERT_TRUE(report.ran);
+  EXPECT_EQ(report.best_quality, Quality::kOptimal);
+  EXPECT_TRUE(p.verify(report.best_assignment));
+}
+
+TEST(SolverFacade, InfeasibleProgramReported) {
+  Env env;
+  const auto v = env.new_vars(3, "v");
+  env.different(v[0], v[1]);
+  env.different(v[0], v[2]);
+  env.different(v[1], v[2]);
+  Solver solver(42);
+  const SolveReport report = solver.solve(env, BackendKind::kClassical);
+  EXPECT_FALSE(report.ran);
+  EXPECT_FALSE(report.failure.empty());
+}
+
+TEST(SolverFacade, AnnealerBackendRunsSmallProblem) {
+  Solver solver(42);
+  solver.annealer_options().sampler.num_reads = 40;
+  const MaxCutProblem p{cycle_graph(5)};
+  const SolveReport report = solver.solve(p.encode(), BackendKind::kAnnealer);
+  ASSERT_TRUE(report.ran) << report.failure;
+  EXPECT_GE(report.qubits_used, 5u);
+  EXPECT_EQ(report.num_samples, 40u);
+  // D-Wave success criterion: some read should reach the max cut of 4.
+  EXPECT_TRUE(report.counts.any_optimal());
+  // Timing model: ~30 ms of QPU access for a small job (40 reads here).
+  EXPECT_GT(report.backend_seconds, 0.01);
+  EXPECT_LT(report.backend_seconds, 0.1);
+}
+
+TEST(SolverFacade, CircuitBackendRunsSmallProblem) {
+  Solver solver(42);
+  solver.circuit_options().qaoa.shots = 800;
+  const MaxCutProblem p{cycle_graph(4)};
+  const SolveReport report = solver.solve(p.encode(), BackendKind::kCircuit);
+  ASSERT_TRUE(report.ran) << report.failure;
+  EXPECT_EQ(report.qubits_used, 4u);
+  EXPECT_GT(report.circuit_depth, 0u);
+  EXPECT_GT(report.backend_seconds, 100.0);  // ~500 s of modeled server time
+}
+
+TEST(SolverFacade, SameProgramAcrossAllThreeBackends) {
+  // The paper's portability claim: one program, three execution targets.
+  Solver solver(7);
+  solver.annealer_options().sampler.num_reads = 30;
+  solver.circuit_options().qaoa.shots = 600;
+  const VertexCoverProblem p{path_graph(4)};
+  const Env env = p.encode();
+  for (BackendKind backend : {BackendKind::kClassical, BackendKind::kAnnealer,
+                              BackendKind::kCircuit}) {
+    const SolveReport report = solver.solve(env, backend);
+    ASSERT_TRUE(report.ran) << backend_name(backend) << ": " << report.failure;
+    EXPECT_TRUE(p.verify(report.best_assignment))
+        << backend_name(backend) << " returned a non-cover";
+  }
+}
+
+}  // namespace
+}  // namespace nck

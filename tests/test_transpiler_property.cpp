@@ -1,0 +1,116 @@
+// Property tests for the transpiler: random circuits over the full gate set
+// must keep their output distribution (up to qubit layout) after routing
+// and basis decomposition onto random coupling maps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/circuit.hpp"
+#include "circuit/coupling.hpp"
+#include "circuit/transpiler.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace nck {
+namespace {
+
+Circuit random_circuit(std::size_t num_qubits, std::size_t num_gates,
+                       Rng& rng) {
+  Circuit c(num_qubits);
+  for (std::size_t g = 0; g < num_gates; ++g) {
+    const auto q0 = static_cast<std::uint32_t>(rng.below(num_qubits));
+    auto q1 = static_cast<std::uint32_t>(rng.below(num_qubits));
+    if (q1 == q0) q1 = static_cast<std::uint32_t>((q1 + 1) % num_qubits);
+    const double angle = rng.uniform(-3.0, 3.0);
+    switch (rng.below(9)) {
+      case 0: c.h(q0); break;
+      case 1: c.x(q0); break;
+      case 2: c.rx(q0, angle); break;
+      case 3: c.ry(q0, angle); break;
+      case 4: c.rz(q0, angle); break;
+      case 5: c.cx(q0, q1); break;
+      case 6: c.cz(q0, q1); break;
+      case 7: c.rzz(q0, q1, angle); break;
+      case 8: c.xy(q0, q1, angle); break;
+    }
+  }
+  return c;
+}
+
+// Marginal probability of each logical basis state in the physical output.
+double marginal(const std::vector<double>& physical_probs,
+                const std::vector<std::uint32_t>& layout, std::uint64_t lb,
+                std::size_t num_logical) {
+  double total = 0.0;
+  for (std::uint64_t pb = 0; pb < physical_probs.size(); ++pb) {
+    bool match = true;
+    for (std::size_t q = 0; q < num_logical; ++q) {
+      if (((lb >> q) & 1u) != ((pb >> layout[q]) & 1u)) {
+        match = false;
+        break;
+      }
+    }
+    if (match) total += physical_probs[pb];
+  }
+  return total;
+}
+
+class TranspilerProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TranspilerProperty, RandomCircuitsPreserveDistributions) {
+  Rng rng(static_cast<std::uint64_t>(5100 + GetParam()));
+  const std::size_t n = 2 + rng.below(3);  // 2-4 logical qubits
+  const Circuit logical = random_circuit(n, 8 + rng.below(10), rng);
+
+  // Random coupling map big enough to host the circuit.
+  Graph coupling;
+  switch (rng.below(3)) {
+    case 0: coupling = path_graph(n + 2); break;
+    case 1: coupling = cycle_graph(n + 3); break;
+    default: coupling = heavy_hex_lattice(2); break;
+  }
+  const auto result = transpile(logical, coupling);
+  ASSERT_TRUE(result.has_value());
+
+  StateVector ls(n);
+  logical.run(ls);
+  StateVector ps(coupling.num_vertices());
+  result->physical.run(ps);
+  const auto pp = ps.probabilities();
+  for (std::uint64_t lb = 0; lb < (1ull << n); ++lb) {
+    EXPECT_NEAR(marginal(pp, result->layout, lb, n),
+                std::norm(ls.amplitude(lb)), 1e-9)
+        << "case " << GetParam() << " basis " << lb;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCircuits, TranspilerProperty,
+                         ::testing::Range(0, 25));
+
+// The physical circuit must only use coupling-map edges for 2q gates and
+// only basis gates (no RZZ/XY/SWAP leftovers).
+class TranspilerLegality : public ::testing::TestWithParam<int> {};
+
+TEST_P(TranspilerLegality, OutputRespectsCouplingAndBasis) {
+  Rng rng(static_cast<std::uint64_t>(6200 + GetParam()));
+  const std::size_t n = 3 + rng.below(4);
+  const Circuit logical = random_circuit(n, 12 + rng.below(12), rng);
+  const Graph coupling = heavy_hex_lattice(3);
+  const auto result = transpile(logical, coupling);
+  ASSERT_TRUE(result.has_value());
+  for (const Gate& g : result->physical.gates()) {
+    if (g.two_qubit()) {
+      EXPECT_EQ(g.kind, GateKind::kCX) << gate_name(g.kind);
+      EXPECT_TRUE(coupling.has_edge(g.q0, g.q1))
+          << "gate on non-adjacent qubits " << g.q0 << "," << g.q1;
+    } else {
+      EXPECT_NE(g.kind, GateKind::kSwap);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCircuits, TranspilerLegality,
+                         ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace nck
