@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_anneal.dir/bench_ablation_anneal.cpp.o"
+  "CMakeFiles/bench_ablation_anneal.dir/bench_ablation_anneal.cpp.o.d"
+  "bench_ablation_anneal"
+  "bench_ablation_anneal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_anneal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mixer.dir/bench_ablation_mixer.cpp.o"
+  "CMakeFiles/bench_ablation_mixer.dir/bench_ablation_mixer.cpp.o.d"
+  "bench_ablation_mixer"
+  "bench_ablation_mixer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mixer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_clique_edge_study.dir/bench_clique_edge_study.cpp.o"
+  "CMakeFiles/bench_clique_edge_study.dir/bench_clique_edge_study.cpp.o.d"
+  "bench_clique_edge_study"
+  "bench_clique_edge_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_clique_edge_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

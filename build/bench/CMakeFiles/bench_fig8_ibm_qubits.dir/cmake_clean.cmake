@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_ibm_qubits.dir/bench_fig8_ibm_qubits.cpp.o"
+  "CMakeFiles/bench_fig8_ibm_qubits.dir/bench_fig8_ibm_qubits.cpp.o.d"
+  "bench_fig8_ibm_qubits"
+  "bench_fig8_ibm_qubits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_ibm_qubits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec6b_qubo_quality.dir/bench_sec6b_qubo_quality.cpp.o"
+  "CMakeFiles/bench_sec6b_qubo_quality.dir/bench_sec6b_qubo_quality.cpp.o.d"
+  "bench_sec6b_qubo_quality"
+  "bench_sec6b_qubo_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec6b_qubo_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

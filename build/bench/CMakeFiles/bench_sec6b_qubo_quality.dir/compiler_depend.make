@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_sec6b_qubo_quality.
+# This may be replaced when dependencies are built.

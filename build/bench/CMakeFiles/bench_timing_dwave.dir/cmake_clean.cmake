@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_timing_dwave.dir/bench_timing_dwave.cpp.o"
+  "CMakeFiles/bench_timing_dwave.dir/bench_timing_dwave.cpp.o.d"
+  "bench_timing_dwave"
+  "bench_timing_dwave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_timing_dwave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

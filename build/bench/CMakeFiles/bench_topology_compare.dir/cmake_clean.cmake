@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_topology_compare.dir/bench_topology_compare.cpp.o"
+  "CMakeFiles/bench_topology_compare.dir/bench_topology_compare.cpp.o.d"
+  "bench_topology_compare"
+  "bench_topology_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_topology_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

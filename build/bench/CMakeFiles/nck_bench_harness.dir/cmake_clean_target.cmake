@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libnck_bench_harness.a"
+)

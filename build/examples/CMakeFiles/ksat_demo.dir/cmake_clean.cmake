@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksat_demo.dir/ksat_demo.cpp.o"
+  "CMakeFiles/ksat_demo.dir/ksat_demo.cpp.o.d"
+  "ksat_demo"
+  "ksat_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksat_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/map_coloring_demo.cpp" "examples/CMakeFiles/map_coloring_demo.dir/map_coloring_demo.cpp.o" "gcc" "examples/CMakeFiles/map_coloring_demo.dir/map_coloring_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/nck_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/problems/CMakeFiles/nck_problems.dir/DependInfo.cmake"
+  "/root/repo/build/src/classical/CMakeFiles/nck_classical.dir/DependInfo.cmake"
+  "/root/repo/build/src/anneal/CMakeFiles/nck_anneal.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/nck_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nck_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/nck_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/nck_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/qubo/CMakeFiles/nck_qubo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nck_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

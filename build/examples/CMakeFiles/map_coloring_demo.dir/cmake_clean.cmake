@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_coloring_demo.dir/map_coloring_demo.cpp.o"
+  "CMakeFiles/map_coloring_demo.dir/map_coloring_demo.cpp.o.d"
+  "map_coloring_demo"
+  "map_coloring_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_coloring_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/max_cut_demo.dir/max_cut_demo.cpp.o"
+  "CMakeFiles/max_cut_demo.dir/max_cut_demo.cpp.o.d"
+  "max_cut_demo"
+  "max_cut_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/max_cut_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

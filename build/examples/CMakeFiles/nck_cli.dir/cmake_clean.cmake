@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nck_cli.dir/nck_cli.cpp.o"
+  "CMakeFiles/nck_cli.dir/nck_cli.cpp.o.d"
+  "nck_cli"
+  "nck_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nck_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

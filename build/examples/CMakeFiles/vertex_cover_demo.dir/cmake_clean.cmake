@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vertex_cover_demo.dir/vertex_cover_demo.cpp.o"
+  "CMakeFiles/vertex_cover_demo.dir/vertex_cover_demo.cpp.o.d"
+  "vertex_cover_demo"
+  "vertex_cover_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vertex_cover_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

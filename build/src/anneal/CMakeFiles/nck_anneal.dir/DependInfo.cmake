@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/anneal/backend.cpp" "src/anneal/CMakeFiles/nck_anneal.dir/backend.cpp.o" "gcc" "src/anneal/CMakeFiles/nck_anneal.dir/backend.cpp.o.d"
+  "/root/repo/src/anneal/embedded_ising.cpp" "src/anneal/CMakeFiles/nck_anneal.dir/embedded_ising.cpp.o" "gcc" "src/anneal/CMakeFiles/nck_anneal.dir/embedded_ising.cpp.o.d"
+  "/root/repo/src/anneal/embedding.cpp" "src/anneal/CMakeFiles/nck_anneal.dir/embedding.cpp.o" "gcc" "src/anneal/CMakeFiles/nck_anneal.dir/embedding.cpp.o.d"
+  "/root/repo/src/anneal/sampler.cpp" "src/anneal/CMakeFiles/nck_anneal.dir/sampler.cpp.o" "gcc" "src/anneal/CMakeFiles/nck_anneal.dir/sampler.cpp.o.d"
+  "/root/repo/src/anneal/topology.cpp" "src/anneal/CMakeFiles/nck_anneal.dir/topology.cpp.o" "gcc" "src/anneal/CMakeFiles/nck_anneal.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nck_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/qubo/CMakeFiles/nck_qubo.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/nck_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nck_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/nck_synth.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

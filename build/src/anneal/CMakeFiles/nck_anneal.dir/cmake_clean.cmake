@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nck_anneal.dir/backend.cpp.o"
+  "CMakeFiles/nck_anneal.dir/backend.cpp.o.d"
+  "CMakeFiles/nck_anneal.dir/embedded_ising.cpp.o"
+  "CMakeFiles/nck_anneal.dir/embedded_ising.cpp.o.d"
+  "CMakeFiles/nck_anneal.dir/embedding.cpp.o"
+  "CMakeFiles/nck_anneal.dir/embedding.cpp.o.d"
+  "CMakeFiles/nck_anneal.dir/sampler.cpp.o"
+  "CMakeFiles/nck_anneal.dir/sampler.cpp.o.d"
+  "CMakeFiles/nck_anneal.dir/topology.cpp.o"
+  "CMakeFiles/nck_anneal.dir/topology.cpp.o.d"
+  "libnck_anneal.a"
+  "libnck_anneal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nck_anneal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/aoa.cpp" "src/circuit/CMakeFiles/nck_circuit.dir/aoa.cpp.o" "gcc" "src/circuit/CMakeFiles/nck_circuit.dir/aoa.cpp.o.d"
+  "/root/repo/src/circuit/backend.cpp" "src/circuit/CMakeFiles/nck_circuit.dir/backend.cpp.o" "gcc" "src/circuit/CMakeFiles/nck_circuit.dir/backend.cpp.o.d"
+  "/root/repo/src/circuit/circuit.cpp" "src/circuit/CMakeFiles/nck_circuit.dir/circuit.cpp.o" "gcc" "src/circuit/CMakeFiles/nck_circuit.dir/circuit.cpp.o.d"
+  "/root/repo/src/circuit/coupling.cpp" "src/circuit/CMakeFiles/nck_circuit.dir/coupling.cpp.o" "gcc" "src/circuit/CMakeFiles/nck_circuit.dir/coupling.cpp.o.d"
+  "/root/repo/src/circuit/optimizer.cpp" "src/circuit/CMakeFiles/nck_circuit.dir/optimizer.cpp.o" "gcc" "src/circuit/CMakeFiles/nck_circuit.dir/optimizer.cpp.o.d"
+  "/root/repo/src/circuit/qaoa.cpp" "src/circuit/CMakeFiles/nck_circuit.dir/qaoa.cpp.o" "gcc" "src/circuit/CMakeFiles/nck_circuit.dir/qaoa.cpp.o.d"
+  "/root/repo/src/circuit/statevector.cpp" "src/circuit/CMakeFiles/nck_circuit.dir/statevector.cpp.o" "gcc" "src/circuit/CMakeFiles/nck_circuit.dir/statevector.cpp.o.d"
+  "/root/repo/src/circuit/transpiler.cpp" "src/circuit/CMakeFiles/nck_circuit.dir/transpiler.cpp.o" "gcc" "src/circuit/CMakeFiles/nck_circuit.dir/transpiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nck_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/qubo/CMakeFiles/nck_qubo.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/nck_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nck_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/nck_synth.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

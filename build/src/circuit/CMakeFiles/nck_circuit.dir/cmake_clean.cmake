@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nck_circuit.dir/aoa.cpp.o"
+  "CMakeFiles/nck_circuit.dir/aoa.cpp.o.d"
+  "CMakeFiles/nck_circuit.dir/backend.cpp.o"
+  "CMakeFiles/nck_circuit.dir/backend.cpp.o.d"
+  "CMakeFiles/nck_circuit.dir/circuit.cpp.o"
+  "CMakeFiles/nck_circuit.dir/circuit.cpp.o.d"
+  "CMakeFiles/nck_circuit.dir/coupling.cpp.o"
+  "CMakeFiles/nck_circuit.dir/coupling.cpp.o.d"
+  "CMakeFiles/nck_circuit.dir/optimizer.cpp.o"
+  "CMakeFiles/nck_circuit.dir/optimizer.cpp.o.d"
+  "CMakeFiles/nck_circuit.dir/qaoa.cpp.o"
+  "CMakeFiles/nck_circuit.dir/qaoa.cpp.o.d"
+  "CMakeFiles/nck_circuit.dir/statevector.cpp.o"
+  "CMakeFiles/nck_circuit.dir/statevector.cpp.o.d"
+  "CMakeFiles/nck_circuit.dir/transpiler.cpp.o"
+  "CMakeFiles/nck_circuit.dir/transpiler.cpp.o.d"
+  "libnck_circuit.a"
+  "libnck_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nck_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for nck_circuit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/classical/exact_solver.cpp" "src/classical/CMakeFiles/nck_classical.dir/exact_solver.cpp.o" "gcc" "src/classical/CMakeFiles/nck_classical.dir/exact_solver.cpp.o.d"
+  "/root/repo/src/classical/z3_backend.cpp" "src/classical/CMakeFiles/nck_classical.dir/z3_backend.cpp.o" "gcc" "src/classical/CMakeFiles/nck_classical.dir/z3_backend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nck_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/qubo/CMakeFiles/nck_qubo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nck_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/nck_synth.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

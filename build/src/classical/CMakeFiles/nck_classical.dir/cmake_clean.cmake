@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nck_classical.dir/exact_solver.cpp.o"
+  "CMakeFiles/nck_classical.dir/exact_solver.cpp.o.d"
+  "CMakeFiles/nck_classical.dir/z3_backend.cpp.o"
+  "CMakeFiles/nck_classical.dir/z3_backend.cpp.o.d"
+  "libnck_classical.a"
+  "libnck_classical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nck_classical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nck_core.dir/compile.cpp.o"
+  "CMakeFiles/nck_core.dir/compile.cpp.o.d"
+  "CMakeFiles/nck_core.dir/constraint.cpp.o"
+  "CMakeFiles/nck_core.dir/constraint.cpp.o.d"
+  "CMakeFiles/nck_core.dir/env.cpp.o"
+  "CMakeFiles/nck_core.dir/env.cpp.o.d"
+  "CMakeFiles/nck_core.dir/parse.cpp.o"
+  "CMakeFiles/nck_core.dir/parse.cpp.o.d"
+  "libnck_core.a"
+  "libnck_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nck_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nck_graph.dir/algorithms.cpp.o"
+  "CMakeFiles/nck_graph.dir/algorithms.cpp.o.d"
+  "CMakeFiles/nck_graph.dir/generators.cpp.o"
+  "CMakeFiles/nck_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/nck_graph.dir/graph.cpp.o"
+  "CMakeFiles/nck_graph.dir/graph.cpp.o.d"
+  "libnck_graph.a"
+  "libnck_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nck_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

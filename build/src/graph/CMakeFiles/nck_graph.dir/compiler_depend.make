@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for nck_graph.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/problems/coloring.cpp" "src/problems/CMakeFiles/nck_problems.dir/coloring.cpp.o" "gcc" "src/problems/CMakeFiles/nck_problems.dir/coloring.cpp.o.d"
+  "/root/repo/src/problems/cover.cpp" "src/problems/CMakeFiles/nck_problems.dir/cover.cpp.o" "gcc" "src/problems/CMakeFiles/nck_problems.dir/cover.cpp.o.d"
+  "/root/repo/src/problems/ksat.cpp" "src/problems/CMakeFiles/nck_problems.dir/ksat.cpp.o" "gcc" "src/problems/CMakeFiles/nck_problems.dir/ksat.cpp.o.d"
+  "/root/repo/src/problems/max_cut.cpp" "src/problems/CMakeFiles/nck_problems.dir/max_cut.cpp.o" "gcc" "src/problems/CMakeFiles/nck_problems.dir/max_cut.cpp.o.d"
+  "/root/repo/src/problems/vertex_cover.cpp" "src/problems/CMakeFiles/nck_problems.dir/vertex_cover.cpp.o" "gcc" "src/problems/CMakeFiles/nck_problems.dir/vertex_cover.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nck_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/nck_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/qubo/CMakeFiles/nck_qubo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nck_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/nck_synth.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

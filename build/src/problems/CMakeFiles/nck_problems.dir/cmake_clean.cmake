@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nck_problems.dir/coloring.cpp.o"
+  "CMakeFiles/nck_problems.dir/coloring.cpp.o.d"
+  "CMakeFiles/nck_problems.dir/cover.cpp.o"
+  "CMakeFiles/nck_problems.dir/cover.cpp.o.d"
+  "CMakeFiles/nck_problems.dir/ksat.cpp.o"
+  "CMakeFiles/nck_problems.dir/ksat.cpp.o.d"
+  "CMakeFiles/nck_problems.dir/max_cut.cpp.o"
+  "CMakeFiles/nck_problems.dir/max_cut.cpp.o.d"
+  "CMakeFiles/nck_problems.dir/vertex_cover.cpp.o"
+  "CMakeFiles/nck_problems.dir/vertex_cover.cpp.o.d"
+  "libnck_problems.a"
+  "libnck_problems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nck_problems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

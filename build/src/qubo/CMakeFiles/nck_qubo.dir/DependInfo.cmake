@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qubo/brute_force.cpp" "src/qubo/CMakeFiles/nck_qubo.dir/brute_force.cpp.o" "gcc" "src/qubo/CMakeFiles/nck_qubo.dir/brute_force.cpp.o.d"
+  "/root/repo/src/qubo/heuristic.cpp" "src/qubo/CMakeFiles/nck_qubo.dir/heuristic.cpp.o" "gcc" "src/qubo/CMakeFiles/nck_qubo.dir/heuristic.cpp.o.d"
+  "/root/repo/src/qubo/io.cpp" "src/qubo/CMakeFiles/nck_qubo.dir/io.cpp.o" "gcc" "src/qubo/CMakeFiles/nck_qubo.dir/io.cpp.o.d"
+  "/root/repo/src/qubo/ising.cpp" "src/qubo/CMakeFiles/nck_qubo.dir/ising.cpp.o" "gcc" "src/qubo/CMakeFiles/nck_qubo.dir/ising.cpp.o.d"
+  "/root/repo/src/qubo/presolve.cpp" "src/qubo/CMakeFiles/nck_qubo.dir/presolve.cpp.o" "gcc" "src/qubo/CMakeFiles/nck_qubo.dir/presolve.cpp.o.d"
+  "/root/repo/src/qubo/qubo.cpp" "src/qubo/CMakeFiles/nck_qubo.dir/qubo.cpp.o" "gcc" "src/qubo/CMakeFiles/nck_qubo.dir/qubo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nck_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nck_qubo.dir/brute_force.cpp.o"
+  "CMakeFiles/nck_qubo.dir/brute_force.cpp.o.d"
+  "CMakeFiles/nck_qubo.dir/heuristic.cpp.o"
+  "CMakeFiles/nck_qubo.dir/heuristic.cpp.o.d"
+  "CMakeFiles/nck_qubo.dir/io.cpp.o"
+  "CMakeFiles/nck_qubo.dir/io.cpp.o.d"
+  "CMakeFiles/nck_qubo.dir/ising.cpp.o"
+  "CMakeFiles/nck_qubo.dir/ising.cpp.o.d"
+  "CMakeFiles/nck_qubo.dir/presolve.cpp.o"
+  "CMakeFiles/nck_qubo.dir/presolve.cpp.o.d"
+  "CMakeFiles/nck_qubo.dir/qubo.cpp.o"
+  "CMakeFiles/nck_qubo.dir/qubo.cpp.o.d"
+  "libnck_qubo.a"
+  "libnck_qubo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nck_qubo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for nck_qubo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nck_runtime.dir/result.cpp.o"
+  "CMakeFiles/nck_runtime.dir/result.cpp.o.d"
+  "CMakeFiles/nck_runtime.dir/solver.cpp.o"
+  "CMakeFiles/nck_runtime.dir/solver.cpp.o.d"
+  "libnck_runtime.a"
+  "libnck_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nck_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnck_runtime.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/builtin.cpp" "src/synth/CMakeFiles/nck_synth.dir/builtin.cpp.o" "gcc" "src/synth/CMakeFiles/nck_synth.dir/builtin.cpp.o.d"
+  "/root/repo/src/synth/engine.cpp" "src/synth/CMakeFiles/nck_synth.dir/engine.cpp.o" "gcc" "src/synth/CMakeFiles/nck_synth.dir/engine.cpp.o.d"
+  "/root/repo/src/synth/lp_synth.cpp" "src/synth/CMakeFiles/nck_synth.dir/lp_synth.cpp.o" "gcc" "src/synth/CMakeFiles/nck_synth.dir/lp_synth.cpp.o.d"
+  "/root/repo/src/synth/pattern.cpp" "src/synth/CMakeFiles/nck_synth.dir/pattern.cpp.o" "gcc" "src/synth/CMakeFiles/nck_synth.dir/pattern.cpp.o.d"
+  "/root/repo/src/synth/rational.cpp" "src/synth/CMakeFiles/nck_synth.dir/rational.cpp.o" "gcc" "src/synth/CMakeFiles/nck_synth.dir/rational.cpp.o.d"
+  "/root/repo/src/synth/simplex.cpp" "src/synth/CMakeFiles/nck_synth.dir/simplex.cpp.o" "gcc" "src/synth/CMakeFiles/nck_synth.dir/simplex.cpp.o.d"
+  "/root/repo/src/synth/verify.cpp" "src/synth/CMakeFiles/nck_synth.dir/verify.cpp.o" "gcc" "src/synth/CMakeFiles/nck_synth.dir/verify.cpp.o.d"
+  "/root/repo/src/synth/z3_synth.cpp" "src/synth/CMakeFiles/nck_synth.dir/z3_synth.cpp.o" "gcc" "src/synth/CMakeFiles/nck_synth.dir/z3_synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qubo/CMakeFiles/nck_qubo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nck_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nck_synth.dir/builtin.cpp.o"
+  "CMakeFiles/nck_synth.dir/builtin.cpp.o.d"
+  "CMakeFiles/nck_synth.dir/engine.cpp.o"
+  "CMakeFiles/nck_synth.dir/engine.cpp.o.d"
+  "CMakeFiles/nck_synth.dir/lp_synth.cpp.o"
+  "CMakeFiles/nck_synth.dir/lp_synth.cpp.o.d"
+  "CMakeFiles/nck_synth.dir/pattern.cpp.o"
+  "CMakeFiles/nck_synth.dir/pattern.cpp.o.d"
+  "CMakeFiles/nck_synth.dir/rational.cpp.o"
+  "CMakeFiles/nck_synth.dir/rational.cpp.o.d"
+  "CMakeFiles/nck_synth.dir/simplex.cpp.o"
+  "CMakeFiles/nck_synth.dir/simplex.cpp.o.d"
+  "CMakeFiles/nck_synth.dir/verify.cpp.o"
+  "CMakeFiles/nck_synth.dir/verify.cpp.o.d"
+  "CMakeFiles/nck_synth.dir/z3_synth.cpp.o"
+  "CMakeFiles/nck_synth.dir/z3_synth.cpp.o.d"
+  "libnck_synth.a"
+  "libnck_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nck_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

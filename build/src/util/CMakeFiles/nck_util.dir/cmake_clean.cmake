@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nck_util.dir/logging.cpp.o"
+  "CMakeFiles/nck_util.dir/logging.cpp.o.d"
+  "CMakeFiles/nck_util.dir/rng.cpp.o"
+  "CMakeFiles/nck_util.dir/rng.cpp.o.d"
+  "CMakeFiles/nck_util.dir/stats.cpp.o"
+  "CMakeFiles/nck_util.dir/stats.cpp.o.d"
+  "CMakeFiles/nck_util.dir/table.cpp.o"
+  "CMakeFiles/nck_util.dir/table.cpp.o.d"
+  "libnck_util.a"
+  "libnck_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nck_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_anneal.dir/test_anneal.cpp.o"
+  "CMakeFiles/test_anneal.dir/test_anneal.cpp.o.d"
+  "test_anneal"
+  "test_anneal.pdb"
+  "test_anneal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_anneal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aoa.dir/test_aoa.cpp.o"
+  "CMakeFiles/test_aoa.dir/test_aoa.cpp.o.d"
+  "test_aoa"
+  "test_aoa.pdb"
+  "test_aoa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aoa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

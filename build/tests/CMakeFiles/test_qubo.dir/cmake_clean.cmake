@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qubo.dir/test_qubo.cpp.o"
+  "CMakeFiles/test_qubo.dir/test_qubo.cpp.o.d"
+  "test_qubo"
+  "test_qubo.pdb"
+  "test_qubo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qubo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_transpiler_property.cpp" "tests/CMakeFiles/test_transpiler_property.dir/test_transpiler_property.cpp.o" "gcc" "tests/CMakeFiles/test_transpiler_property.dir/test_transpiler_property.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/nck_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/nck_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nck_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/nck_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/qubo/CMakeFiles/nck_qubo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nck_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transpiler_property.dir/test_transpiler_property.cpp.o"
+  "CMakeFiles/test_transpiler_property.dir/test_transpiler_property.cpp.o.d"
+  "test_transpiler_property"
+  "test_transpiler_property.pdb"
+  "test_transpiler_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transpiler_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
