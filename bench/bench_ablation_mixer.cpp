@@ -78,8 +78,12 @@ int main() {
         .cell("qaoa-x-mixer")
         .cell(std_row.depth)
         .cell(std_row.cx)
-        .cell(100.0 * std_row.valid / std::max<std::size_t>(1, std_row.total), 1)
-        .cell(100.0 * std_row.proper / std::max<std::size_t>(1, std_row.total), 1);
+        .cell(100.0 * static_cast<double>(std_row.valid) /
+                  static_cast<double>(std::max<std::size_t>(1, std_row.total)),
+              1)
+        .cell(100.0 * static_cast<double>(std_row.proper) /
+                  static_cast<double>(std::max<std::size_t>(1, std_row.total)),
+              1);
 
     Rng rng_aoa(200 + case_index);
     const QaoaResult aoa =
@@ -93,8 +97,12 @@ int main() {
         .cell("aoa-xy-mixer")
         .cell(aoa_row.depth)
         .cell(aoa_row.cx)
-        .cell(100.0 * aoa_row.valid / std::max<std::size_t>(1, aoa_row.total), 1)
-        .cell(100.0 * aoa_row.proper / std::max<std::size_t>(1, aoa_row.total), 1);
+        .cell(100.0 * static_cast<double>(aoa_row.valid) /
+                  static_cast<double>(std::max<std::size_t>(1, aoa_row.total)),
+              1)
+        .cell(100.0 * static_cast<double>(aoa_row.proper) /
+                  static_cast<double>(std::max<std::size_t>(1, aoa_row.total)),
+              1);
     ++case_index;
   }
   table.print(std::cout);

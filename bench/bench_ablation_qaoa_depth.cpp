@@ -53,7 +53,9 @@ int main() {
           .cell(result.cx_count)
           .cell(result.fidelity, 3)
           .cell(result.num_jobs)
-          .cell(100.0 * optimal_shots / result.samples.size(), 1)
+          .cell(100.0 * static_cast<double>(optimal_shots) /
+                    static_cast<double>(result.samples.size()),
+                1)
           .cell(std::to_string(best_found) + "/" + std::to_string(best_cut));
     }
   }

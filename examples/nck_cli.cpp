@@ -1,9 +1,15 @@
 // Command-line NchooseK runner: reads a program in the text format of
 // core/parse.hpp from a file (or stdin with "-") and executes it on the
-// chosen backend.
+// chosen backend, or statically analyzes it without running anything.
 //
 //   nck_cli [--backend=classical|annealer|circuit] [--seed=N]
 //           [--reads=N] [--shots=N] <program-file|->
+//   nck_cli lint [--json] [--target=program|annealer|circuit|all]
+//           <program-file|->
+//
+// `lint` runs the nck::analysis passes and exits 0 when no error-severity
+// diagnostic was produced, 1 otherwise (warnings and notes do not affect
+// the exit status). --json emits the machine-readable report.
 //
 // Example program:
 //   # minimum vertex cover of a triangle
@@ -14,6 +20,8 @@
 #include <fstream>
 #include <iostream>
 
+#include "analysis/analyzer.hpp"
+#include "circuit/coupling.hpp"
 #include "core/parse.hpp"
 #include "runtime/solver.hpp"
 
@@ -24,13 +32,86 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: nck_cli [--backend=classical|annealer|circuit] "
-               "[--seed=N] [--reads=N] [--shots=N] <program-file|->\n");
+               "[--seed=N] [--reads=N] [--shots=N] <program-file|->\n"
+               "       nck_cli lint [--json] "
+               "[--target=program|annealer|circuit|all] <program-file|->\n");
   return 2;
+}
+
+bool read_program(const char* path, Env& env) {
+  try {
+    if (std::strcmp(path, "-") == 0) {
+      env = parse_program(std::cin);
+    } else {
+      std::ifstream in(path);
+      if (!in) {
+        std::fprintf(stderr, "nck_cli: cannot open '%s'\n", path);
+        return false;
+      }
+      env = parse_program(in);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "nck_cli: %s\n", e.what());
+    return false;
+  }
+  return true;
+}
+
+int run_lint(int argc, char** argv) {
+  bool json = false;
+  std::string target = "all";
+  const char* path = nullptr;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--target=", 0) == 0) {
+      target = arg.substr(9);
+      if (target != "program" && target != "annealer" && target != "circuit" &&
+          target != "all") {
+        return usage();
+      }
+    } else if (!path) {
+      path = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (!path) return usage();
+
+  Env env;
+  if (!read_program(path, env)) return 2;
+
+  Analyzer analyzer;
+  AnalysisReport report;
+  if (target == "program") {
+    report = analyzer.analyze(env);
+  } else {
+    Rng device_rng(1234 ^ 0xD3071CEull);
+    const Device device = advantage_4_1(device_rng);
+    const Graph coupling = brooklyn_coupling();
+    AnalysisTarget hw;
+    if (target == "annealer" || target == "all") hw.annealer = &device;
+    if (target == "circuit" || target == "all") hw.coupling = &coupling;
+    SynthEngine engine;
+    report = analyzer.analyze(env, engine, hw);
+  }
+
+  if (json) {
+    std::cout << report.to_json() << "\n";
+  } else {
+    report.print(std::cout);
+  }
+  return report.has_errors() ? 1 : 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "lint") == 0) {
+    return run_lint(argc, argv);
+  }
+
   BackendKind backend = BackendKind::kClassical;
   std::uint64_t seed = 1234;
   std::size_t reads = 100, shots = 4000;
@@ -64,21 +145,7 @@ int main(int argc, char** argv) {
   if (!path) return usage();
 
   Env env;
-  try {
-    if (std::strcmp(path, "-") == 0) {
-      env = parse_program(std::cin);
-    } else {
-      std::ifstream in(path);
-      if (!in) {
-        std::fprintf(stderr, "nck_cli: cannot open '%s'\n", path);
-        return 1;
-      }
-      env = parse_program(in);
-    }
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "nck_cli: %s\n", e.what());
-    return 1;
-  }
+  if (!read_program(path, env)) return 1;
 
   std::printf("program: %zu variables, %zu hard + %zu soft constraints "
               "(%zu non-symmetric classes)\n",
@@ -89,6 +156,10 @@ int main(int argc, char** argv) {
   solver.annealer_options().sampler.num_reads = reads;
   solver.circuit_options().qaoa.shots = shots;
   const SolveReport report = solver.solve(env, backend);
+  if (!report.analysis.empty()) {
+    std::fprintf(stderr, "static analysis:\n");
+    report.analysis.print(std::cerr);
+  }
   if (!report.ran) {
     std::printf("%s backend did not run: %s\n", backend_name(report.backend),
                 report.failure.c_str());

@@ -1,0 +1,46 @@
+#include "analysis/analyzer.hpp"
+
+#include <stdexcept>
+
+namespace nck {
+
+AnalysisReport Analyzer::analyze(const Env& env) const {
+  AnalysisReport report;
+  analyze_program(env, options_.program, report);
+  return report;
+}
+
+AnalysisReport Analyzer::analyze(const Env& env, SynthEngine& engine,
+                                 const AnalysisTarget& target) const {
+  AnalysisReport report = analyze(env);
+  // A program that is already known-broken is not worth compiling, and the
+  // compiler's hard-scale computation assumes a satisfiable conjunction.
+  if (report.has_errors()) return report;
+  if (!target.annealer && !target.coupling) return report;
+  if (env.num_constraints() == 0) return report;
+
+  CompiledQubo compiled;
+  try {
+    compiled = compile(env, engine);
+  } catch (const std::exception& e) {
+    report.add({Severity::kError, DiagCode::kSynthesisFailed,
+                DiagLocation::program(),
+                std::string("constraint QUBO synthesis failed: ") + e.what(),
+                "raise the synthesis ancilla budget or enable a general "
+                "synthesizer (Z3/LP)"});
+    return report;
+  }
+
+  if (target.annealer) {
+    analyze_coefficient_range(compiled, options_.qubo, report);
+    analyze_embedding_feasibility(compiled, *target.annealer, options_.qubo,
+                                  report);
+  }
+  if (target.coupling) {
+    analyze_circuit_feasibility(compiled, *target.coupling, options_.qubo,
+                                report);
+  }
+  return report;
+}
+
+}  // namespace nck

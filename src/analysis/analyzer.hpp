@@ -1,0 +1,48 @@
+// Analyzer facade: one entry point that runs the program-level passes and,
+// when a backend target is known, compiles the program and runs the QUBO/
+// hardware-level passes against that target. runtime::Solver runs this
+// before dispatching any backend; examples/nck_cli exposes it as the `lint`
+// subcommand.
+#pragma once
+
+#include "analysis/program_passes.hpp"
+#include "analysis/qubo_passes.hpp"
+#include "anneal/topology.hpp"
+#include "core/env.hpp"
+#include "graph/graph.hpp"
+#include "synth/engine.hpp"
+
+namespace nck {
+
+struct AnalyzeOptions {
+  ProgramPassOptions program;
+  QuboPassOptions qubo;
+};
+
+/// Which hardware-level passes to run on top of the program passes.
+struct AnalysisTarget {
+  const Device* annealer = nullptr;  // run embedding/ICE passes against this
+  const Graph* coupling = nullptr;   // run circuit passes against this
+};
+
+class Analyzer {
+ public:
+  explicit Analyzer(AnalyzeOptions options = {}) : options_(options) {}
+
+  /// Program-level passes only.
+  AnalysisReport analyze(const Env& env) const;
+
+  /// Program passes plus, if the program-level analysis finds no errors,
+  /// compilation and the hardware-level passes for each set target. A
+  /// failed compilation becomes an NCK-Q000 error instead of an exception.
+  AnalysisReport analyze(const Env& env, SynthEngine& engine,
+                         const AnalysisTarget& target) const;
+
+  const AnalyzeOptions& options() const noexcept { return options_; }
+  AnalyzeOptions& options() noexcept { return options_; }
+
+ private:
+  AnalyzeOptions options_;
+};
+
+}  // namespace nck

@@ -1,0 +1,363 @@
+#include "analysis/program_passes.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace nck {
+
+namespace {
+
+/// Truncated constraint rendering for diagnostic labels.
+std::string constraint_label(const Env& env, const Constraint& c) {
+  std::string s = c.to_string(env.var_names());
+  constexpr std::size_t kMax = 64;
+  if (s.size() > kMax) {
+    s.resize(kMax - 3);
+    s += "...";
+  }
+  return s;
+}
+
+/// Bitset over achievable multiplicity sums in [0, cap].
+class SumSet {
+ public:
+  explicit SumSet(std::size_t cap) : cap_(cap), bits_(cap / 64 + 1, 0) {
+    bits_[0] = 1;  // the empty subset sums to 0
+  }
+
+  /// dp |= dp << m (one item of multiplicity m, chosen or not).
+  void add_item(unsigned m) {
+    if (m == 0) return;
+    const std::size_t word_shift = m / 64;
+    const unsigned bit_shift = m % 64;
+    for (std::size_t i = bits_.size(); i-- > 0;) {
+      std::uint64_t shifted = 0;
+      if (i >= word_shift) {
+        shifted = bits_[i - word_shift] << bit_shift;
+        if (bit_shift != 0 && i > word_shift) {
+          shifted |= bits_[i - word_shift - 1] >> (64 - bit_shift);
+        }
+      }
+      bits_[i] |= shifted;
+    }
+  }
+
+  bool test(std::size_t k) const noexcept {
+    if (k > cap_) return false;
+    return (bits_[k / 64] >> (k % 64)) & 1u;
+  }
+
+ private:
+  std::size_t cap_;
+  std::vector<std::uint64_t> bits_;
+};
+
+/// The unfixed slice of one constraint under a partial assignment.
+struct UnfixedView {
+  unsigned fixed_true = 0;     // multiplicity-weighted TRUE count so far
+  unsigned unfixed_total = 0;  // sum of unfixed multiplicities
+  std::vector<std::pair<VarId, unsigned>> unfixed;  // (var, multiplicity)
+};
+
+UnfixedView view_under(const Constraint& c,
+                       const std::vector<ForcedValue>& values) {
+  UnfixedView view;
+  const auto& vars = c.distinct_vars();
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    unsigned mult = 0;
+    for (VarId v : c.collection()) {
+      if (v == vars[i]) ++mult;
+    }
+    switch (values[vars[i]]) {
+      case ForcedValue::kTrue: view.fixed_true += mult; break;
+      case ForcedValue::kFalse: break;
+      case ForcedValue::kUnknown:
+        view.unfixed.emplace_back(vars[i], mult);
+        view.unfixed_total += mult;
+        break;
+    }
+  }
+  return view;
+}
+
+/// Does the selection set contain any value in [lo, hi]?
+bool selection_hits_interval(const std::set<unsigned>& selection, unsigned lo,
+                             unsigned hi) {
+  auto it = selection.lower_bound(lo);
+  return it != selection.end() && *it <= hi;
+}
+
+/// Does the selection contain fixed + s for some achievable s, where the
+/// achievable sums come from `sums` (offset by `fixed`)?
+bool selection_hits_sums(const std::set<unsigned>& selection, unsigned fixed,
+                         unsigned total, const SumSet& sums) {
+  for (auto it = selection.lower_bound(fixed);
+       it != selection.end() && *it <= fixed + total; ++it) {
+    if (sums.test(*it - fixed)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+PropagationResult propagate_forced_values(const Env& env,
+                                          const ProgramPassOptions& options) {
+  PropagationResult result;
+  result.values.assign(env.num_vars(), ForcedValue::kUnknown);
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t ci = 0; ci < env.constraints().size(); ++ci) {
+      const Constraint& c = env.constraints()[ci];
+      if (c.soft()) continue;
+      const UnfixedView view = view_under(c, result.values);
+      const bool exact =
+          c.cardinality() <= options.max_propagation_cardinality &&
+          view.unfixed.size() <= 64;
+
+      if (exact) {
+        SumSet sums(view.unfixed_total);
+        for (const auto& [v, m] : view.unfixed) sums.add_item(m);
+        if (!selection_hits_sums(c.selection(), view.fixed_true,
+                                 view.unfixed_total, sums)) {
+          result.contradiction = true;
+          result.failed_constraint = ci;
+          return result;
+        }
+        for (const auto& [v, m] : view.unfixed) {
+          // Reachable sums with v excluded entirely (offset unchanged).
+          SumSet without(view.unfixed_total);
+          for (const auto& [w, wm] : view.unfixed) {
+            if (w != v) without.add_item(wm);
+          }
+          const bool can_false = selection_hits_sums(
+              c.selection(), view.fixed_true, view.unfixed_total - m, without);
+          // v TRUE shifts the offset by its multiplicity.
+          const bool can_true =
+              selection_hits_sums(c.selection(), view.fixed_true + m,
+                                  view.unfixed_total - m, without);
+          if (!can_false && !can_true) {
+            result.contradiction = true;
+            result.failed_constraint = ci;
+            return result;
+          }
+          if (!can_false) {
+            result.values[v] = ForcedValue::kTrue;
+            changed = true;
+          } else if (!can_true) {
+            result.values[v] = ForcedValue::kFalse;
+            changed = true;
+          }
+        }
+      } else {
+        // Interval over-approximation: reachable counts lie in
+        // [fixed, fixed + unfixed_total]; still sound for contradiction
+        // and forcing checks (it can only fail to fire, never misfire).
+        if (!selection_hits_interval(c.selection(), view.fixed_true,
+                                     view.fixed_true + view.unfixed_total)) {
+          result.contradiction = true;
+          result.failed_constraint = ci;
+          return result;
+        }
+        for (const auto& [v, m] : view.unfixed) {
+          const bool can_false = selection_hits_interval(
+              c.selection(), view.fixed_true,
+              view.fixed_true + view.unfixed_total - m);
+          const bool can_true = selection_hits_interval(
+              c.selection(), view.fixed_true + m,
+              view.fixed_true + view.unfixed_total);
+          if (!can_false && !can_true) {
+            result.contradiction = true;
+            result.failed_constraint = ci;
+            return result;
+          }
+          if (!can_false) {
+            result.values[v] = ForcedValue::kTrue;
+            changed = true;
+          } else if (!can_true) {
+            result.values[v] = ForcedValue::kFalse;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+namespace {
+
+void pass_tautology(const Env& env, AnalysisReport& report) {
+  for (std::size_t ci = 0; ci < env.constraints().size(); ++ci) {
+    const Constraint& c = env.constraints()[ci];
+    if (c.selection().size() == c.cardinality() + 1) {
+      report.add({Severity::kWarning, DiagCode::kTautology,
+                  DiagLocation::constraint(ci, constraint_label(env, c)),
+                  "selection set covers every count in [0, " +
+                      std::to_string(c.cardinality()) +
+                      "]; the constraint is always satisfied",
+                  "remove the constraint; it never affects any assignment"});
+    }
+  }
+}
+
+std::string collection_key(const Constraint& c) {
+  std::vector<VarId> sorted = c.collection();
+  std::sort(sorted.begin(), sorted.end());
+  std::ostringstream os;
+  for (VarId v : sorted) os << v << ",";
+  return os.str();
+}
+
+void pass_duplicates(const Env& env, AnalysisReport& report) {
+  std::map<std::string, std::size_t> seen;  // full key -> first index
+  for (std::size_t ci = 0; ci < env.constraints().size(); ++ci) {
+    const Constraint& c = env.constraints()[ci];
+    std::ostringstream key;
+    key << (c.soft() ? "s|" : "h|") << collection_key(c) << "|";
+    for (unsigned k : c.selection()) key << k << ",";
+    auto [it, inserted] = seen.emplace(key.str(), ci);
+    if (inserted) continue;
+    if (c.soft()) {
+      report.add({Severity::kNote, DiagCode::kDuplicateConstraint,
+                  DiagLocation::constraint_pair(it->second, ci,
+                                                constraint_label(env, c)),
+                  "duplicate soft constraint; repeating it doubles its weight "
+                  "in the objective",
+                  "keep the duplicate only if the extra weight is intended"});
+    } else {
+      report.add({Severity::kWarning, DiagCode::kDuplicateConstraint,
+                  DiagLocation::constraint_pair(it->second, ci,
+                                                constraint_label(env, c)),
+                  "duplicate hard constraint; the repeat adds QUBO terms "
+                  "without changing the feasible set",
+                  "remove the duplicate to shrink the compiled QUBO"});
+    }
+  }
+}
+
+void pass_contradictory_pairs(const Env& env, AnalysisReport& report) {
+  // Hard constraints over the same variable multiset must have overlapping
+  // selection sets: the TRUE count is a single number.
+  struct Group {
+    std::size_t first_index;
+    std::set<unsigned> intersection;
+    bool reported = false;
+  };
+  std::map<std::string, Group> groups;
+  for (std::size_t ci = 0; ci < env.constraints().size(); ++ci) {
+    const Constraint& c = env.constraints()[ci];
+    if (c.soft()) continue;
+    const std::string key = collection_key(c);
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      groups.emplace(key, Group{ci, c.selection(), false});
+      continue;
+    }
+    Group& g = it->second;
+    if (g.reported) continue;
+    std::set<unsigned> merged;
+    std::set_intersection(g.intersection.begin(), g.intersection.end(),
+                          c.selection().begin(), c.selection().end(),
+                          std::inserter(merged, merged.begin()));
+    g.intersection = std::move(merged);
+    if (g.intersection.empty()) {
+      report.add(
+          {Severity::kError, DiagCode::kContradictoryPair,
+           DiagLocation::constraint_pair(
+               g.first_index, ci,
+               constraint_label(env, env.constraints()[g.first_index])),
+           "hard constraints over the same collection have disjoint "
+           "selection sets; no assignment can satisfy both",
+           "drop one constraint or widen a selection set so they overlap"});
+      g.reported = true;
+    }
+  }
+}
+
+void pass_propagation(const Env& env, const ProgramPassOptions& options,
+                      AnalysisReport& report) {
+  const PropagationResult prop = propagate_forced_values(env, options);
+  if (!prop.contradiction) return;
+  const Constraint& c = env.constraints()[prop.failed_constraint];
+  report.add({Severity::kError, DiagCode::kInfeasibleByPropagation,
+              DiagLocation::constraint(prop.failed_constraint,
+                                       constraint_label(env, c)),
+              "no reachable TRUE count satisfies this constraint once values "
+              "forced by the other hard constraints are propagated",
+              "the hard-constraint conjunction is unsatisfiable; relax this "
+              "constraint or one of those forcing its variables"});
+}
+
+void pass_variable_usage(const Env& env, AnalysisReport& report) {
+  std::vector<bool> in_hard(env.num_vars(), false);
+  std::vector<bool> in_soft(env.num_vars(), false);
+  for (const Constraint& c : env.constraints()) {
+    for (VarId v : c.collection()) {
+      (c.soft() ? in_soft : in_hard)[v] = true;
+    }
+  }
+  for (std::size_t v = 0; v < env.num_vars(); ++v) {
+    if (!in_hard[v] && !in_soft[v]) {
+      report.add({Severity::kWarning, DiagCode::kUnusedVariable,
+                  DiagLocation::variable(v, env.var_name(static_cast<VarId>(v))),
+                  "variable appears in no constraint; its value is arbitrary",
+                  "remove the variable or constrain it"});
+    } else if (!in_hard[v]) {
+      report.add({Severity::kNote, DiagCode::kSoftOnlyVariable,
+                  DiagLocation::variable(v, env.var_name(static_cast<VarId>(v))),
+                  "variable is constrained only by soft constraints",
+                  "if the variable must take a definite value, add a hard "
+                  "constraint covering it"});
+    }
+  }
+}
+
+void pass_scale_separation(const Env& env, const ProgramPassOptions& options,
+                           AnalysisReport& report) {
+  if (env.num_hard() == 0 || env.num_soft() == 0) return;
+  // compile() scales hard constraints by at least max_soft_energy + margin,
+  // and each normalized soft constraint contributes at least 1 to that
+  // bound, so the hard/soft coefficient ratio is at least num_soft + 1.
+  const double hard_scale = static_cast<double>(env.num_soft()) + 1.0;
+  const double soft_unit_after_norm = 1.0 / hard_scale;
+  const double noise_floor = options.ice_sigma * options.resolution_factor;
+  if (soft_unit_after_norm >= noise_floor) return;
+  std::ostringstream msg;
+  msg << "hard constraints must be scaled by >= " << hard_scale
+      << " to dominate " << env.num_soft()
+      << " soft constraints; after normalization one soft-energy unit ("
+      << soft_unit_after_norm << ") falls below the annealer ICE noise floor ("
+      << noise_floor << ")";
+  report.add({Severity::kWarning, DiagCode::kScaleSeparation,
+              DiagLocation::program(), msg.str(),
+              "reduce the soft-constraint count, aggregate preferences into "
+              "fewer constraints, or target the classical backend"});
+}
+
+}  // namespace
+
+void analyze_program(const Env& env, const ProgramPassOptions& options,
+                     AnalysisReport& report) {
+  if (env.num_constraints() == 0) {
+    report.add({Severity::kWarning, DiagCode::kEmptyProgram,
+                DiagLocation::program(),
+                "program has no constraints; every assignment is optimal",
+                "add constraints before dispatching to a backend"});
+    return;
+  }
+  pass_tautology(env, report);
+  pass_duplicates(env, report);
+  pass_contradictory_pairs(env, report);
+  pass_propagation(env, options, report);
+  pass_variable_usage(env, report);
+  pass_scale_separation(env, options, report);
+}
+
+}  // namespace nck

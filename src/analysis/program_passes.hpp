@@ -1,0 +1,51 @@
+// Program-level static-analysis passes over an NchooseK Env. All passes are
+// sound: an error-severity diagnostic is only emitted when the program is
+// provably broken (e.g. hard constraints that cannot be jointly satisfied),
+// so aborting a solve on errors never rejects a solvable program.
+//
+// Feasibility reasoning is a fixpoint of per-constraint reachable-count
+// propagation: each hard constraint nck(N, K) restricts the multiplicity-
+// weighted TRUE-count of N to K; fixing variables (forced TRUE/FALSE)
+// shrinks the reachable count set of every other constraint sharing them.
+// Reachable counts are computed exactly via subset sums over unfixed
+// multiplicities, which subsumes both interval and parity propagation.
+#pragma once
+
+#include "analysis/diagnostic.hpp"
+#include "core/env.hpp"
+
+namespace nck {
+
+struct ProgramPassOptions {
+  /// ICE noise stddev relative to the largest coefficient (matches
+  /// AnnealerSamplerOptions::ice_sigma); drives the scale-separation lint.
+  double ice_sigma = 0.015;
+  /// A soft-energy unit is considered resolvable while
+  /// hard_scale * ice_sigma * resolution_factor < 1.
+  double resolution_factor = 2.0;
+  /// Collections larger than this skip exact subset-sum propagation (the
+  /// bitset grows with cardinality); interval reasoning still applies.
+  std::size_t max_propagation_cardinality = 4096;
+};
+
+/// Runs every program-level pass, appending diagnostics to `report`.
+void analyze_program(const Env& env, const ProgramPassOptions& options,
+                     AnalysisReport& report);
+
+/// Tri-state assignment derived by hard-constraint propagation.
+enum class ForcedValue : unsigned char { kUnknown, kTrue, kFalse };
+
+struct PropagationResult {
+  bool contradiction = false;
+  /// Index of the hard constraint whose reachable-count set became empty
+  /// (meaningful only when contradiction is true).
+  std::size_t failed_constraint = 0;
+  std::vector<ForcedValue> values;  // per VarId
+};
+
+/// Exposed for tests: fixpoint forced-value propagation over the hard
+/// constraints only.
+PropagationResult propagate_forced_values(const Env& env,
+                                          const ProgramPassOptions& options);
+
+}  // namespace nck

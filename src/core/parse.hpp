@@ -1,9 +1,9 @@
 // Text format for NchooseK programs, matching Env::to_string():
 //
 //   # comments run to end of line
-//   nck({a, b}, {0, 1}) /\
-//   nck({b, c}, {1})    /\
-//   nck({a}, {0}, soft)
+//   nck({a, b}, {0, 1})
+//     /\ nck({b, c}, {1})
+//     /\ nck({a}, {0}, soft)
 //
 // Variables are created on first mention (repetition inside a collection is
 // allowed and meaningful, per Definition 1). The "/\" conjunction separators

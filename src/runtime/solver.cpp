@@ -24,6 +24,19 @@ Solver::Solver(std::uint64_t seed)
 SolveReport Solver::solve(const Env& env, BackendKind backend) {
   SolveReport report;
   report.backend = backend;
+
+  // Static analysis runs before any backend (or even ground-truth) work:
+  // error diagnostics are sound proofs that the solve cannot succeed.
+  AnalysisTarget target;
+  if (backend == BackendKind::kAnnealer) target.annealer = &device_;
+  if (backend == BackendKind::kCircuit) target.coupling = &coupling_;
+  report.analysis = analyzer_.analyze(env, engine_, target);
+  if (report.analysis.has_errors()) {
+    report.failure =
+        "static analysis rejected the program: " + report.analysis.summary();
+    return report;
+  }
+
   report.truth = ground_truth(env);
   if (!report.truth.feasible) {
     report.failure = "program is infeasible (hard constraints conflict)";

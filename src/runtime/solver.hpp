@@ -8,6 +8,7 @@
 #include <memory>
 #include <string>
 
+#include "analysis/analyzer.hpp"
 #include "anneal/backend.hpp"
 #include "circuit/backend.hpp"
 #include "core/env.hpp"
@@ -25,6 +26,10 @@ struct SolveReport {
   BackendKind backend = BackendKind::kClassical;
   bool ran = false;          // false: problem did not fit / embed / solve
   std::string failure;       // why ran == false
+  /// Static-analysis findings gathered before dispatch: error diagnostics
+  /// abort the solve (ran == false, failure carries their summary), while
+  /// warnings and notes ride along on successful solves.
+  AnalysisReport analysis;
   GroundTruth truth;         // classical ground truth used to classify
   /// Best sample (by classification then energy order of the backend).
   std::vector<bool> best_assignment;
@@ -49,12 +54,15 @@ class Solver {
   AnnealBackendOptions& annealer_options() noexcept { return anneal_options_; }
   CircuitBackendOptions& circuit_options() noexcept { return circuit_options_; }
   SynthEngine& engine() noexcept { return engine_; }
+  /// Pre-dispatch static analyzer (tune thresholds via analyzer().options()).
+  Analyzer& analyzer() noexcept { return analyzer_; }
 
  private:
   SynthEngine engine_;
   Rng rng_;
   Device device_;
   Graph coupling_;
+  Analyzer analyzer_;
   AnnealBackendOptions anneal_options_;
   CircuitBackendOptions circuit_options_;
 };

@@ -14,7 +14,7 @@ namespace {
 
 // Builds the symbolic energy f(bits) = offset + sum a_i + sum b_ij over the
 // monomials active in `bits`.
-z3::expr energy_expr(z3::context& ctx, const z3::expr& offset,
+z3::expr energy_expr(z3::context& /*ctx*/, const z3::expr& offset,
                      const std::vector<z3::expr>& lin,
                      const std::vector<std::vector<int>>& quad_index,
                      const std::vector<z3::expr>& quad, std::uint32_t bits,

@@ -1,0 +1,457 @@
+// Tests for the nck::analysis static-analysis subsystem: every diagnostic
+// code has a positive (fires) and a negative (clean program stays clean)
+// case, plus the Solver integration contract — error diagnostics abort a
+// solve before any backend work, warnings ride along on the report.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "analysis/analyzer.hpp"
+#include "anneal/topology.hpp"
+#include "circuit/coupling.hpp"
+#include "graph/generators.hpp"
+#include "problems/vertex_cover.hpp"
+#include "runtime/solver.hpp"
+
+namespace nck {
+namespace {
+
+bool has_code(const AnalysisReport& report, DiagCode code) {
+  return report.has_code(code);
+}
+
+const Diagnostic& find_code(const AnalysisReport& report, DiagCode code) {
+  for (const auto& d : report.diagnostics()) {
+    if (d.code == code) return d;
+  }
+  throw std::logic_error("diagnostic not found");
+}
+
+/// Feasible vertex-cover-of-a-triangle program: three hard OR constraints
+/// plus one soft minimization preference per vertex. Exercises hard + soft
+/// without tripping any pass.
+Env clean_program() {
+  Env env;
+  const VarId a = env.var("a"), b = env.var("b"), c = env.var("c");
+  env.nck({a, b}, {1, 2});
+  env.nck({a, c}, {1, 2});
+  env.nck({b, c}, {1, 2});
+  env.prefer_false(a);
+  env.prefer_false(b);
+  env.prefer_false(c);
+  return env;
+}
+
+Env contradictory_program() {
+  Env env;
+  const VarId a = env.var("a"), b = env.var("b");
+  env.nck({a, b}, {2});
+  env.nck({a, b}, {0});
+  return env;
+}
+
+/// A hand-built CompiledQubo whose interaction graph is K_n (unit weights).
+CompiledQubo complete_compiled(std::size_t n) {
+  CompiledQubo compiled;
+  compiled.qubo.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    compiled.qubo.add_linear(static_cast<Qubo::Var>(i), -1.0);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      compiled.qubo.add_quadratic(static_cast<Qubo::Var>(i),
+                                  static_cast<Qubo::Var>(j), 1.0);
+    }
+  }
+  compiled.num_problem_vars = n;
+  return compiled;
+}
+
+TEST(AnalysisDiagnostics, CodeNamesAreStable) {
+  EXPECT_STREQ(diag_code_name(DiagCode::kEmptyProgram), "NCK-P000");
+  EXPECT_STREQ(diag_code_name(DiagCode::kContradictoryPair), "NCK-P001");
+  EXPECT_STREQ(diag_code_name(DiagCode::kInfeasibleByPropagation), "NCK-P002");
+  EXPECT_STREQ(diag_code_name(DiagCode::kTautology), "NCK-P003");
+  EXPECT_STREQ(diag_code_name(DiagCode::kUnusedVariable), "NCK-P004");
+  EXPECT_STREQ(diag_code_name(DiagCode::kSoftOnlyVariable), "NCK-P005");
+  EXPECT_STREQ(diag_code_name(DiagCode::kDuplicateConstraint), "NCK-P006");
+  EXPECT_STREQ(diag_code_name(DiagCode::kScaleSeparation), "NCK-P007");
+  EXPECT_STREQ(diag_code_name(DiagCode::kSynthesisFailed), "NCK-Q000");
+  EXPECT_STREQ(diag_code_name(DiagCode::kSubNoiseTerm), "NCK-Q001");
+  EXPECT_STREQ(diag_code_name(DiagCode::kEmbeddingInfeasible), "NCK-Q002");
+  EXPECT_STREQ(diag_code_name(DiagCode::kEmbeddingTight), "NCK-Q003");
+  EXPECT_STREQ(diag_code_name(DiagCode::kCircuitTooWide), "NCK-C001");
+  EXPECT_STREQ(diag_code_name(DiagCode::kCircuitDepthBudget), "NCK-C002");
+}
+
+TEST(AnalysisDiagnostics, ReportCountsAndSummary) {
+  AnalysisReport report;
+  report.add({Severity::kNote, DiagCode::kSoftOnlyVariable,
+              DiagLocation::variable(0, "a"), "note msg", ""});
+  report.add({Severity::kError, DiagCode::kContradictoryPair,
+              DiagLocation::constraint_pair(0, 1), "error msg", "fix it"});
+  EXPECT_EQ(report.count(Severity::kNote), 1u);
+  EXPECT_EQ(report.count(Severity::kError), 1u);
+  EXPECT_TRUE(report.has_errors());
+  const std::string errors_only = report.summary();
+  EXPECT_NE(errors_only.find("NCK-P001"), std::string::npos);
+  EXPECT_EQ(errors_only.find("note msg"), std::string::npos);
+  const std::string all = report.summary(Severity::kNote);
+  EXPECT_NE(all.find("note msg"), std::string::npos);
+}
+
+TEST(AnalysisDiagnostics, JsonIsMachineReadable) {
+  Analyzer analyzer;
+  const AnalysisReport report = analyzer.analyze(contradictory_program());
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"code\":\"NCK-P001\""), std::string::npos);
+  EXPECT_NE(json.find("\"severity\":\"error\""), std::string::npos);
+  EXPECT_NE(json.find("\"errors\":"), std::string::npos);
+  // Labels contain quotes-free constraint text; braces must be escaped-safe.
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+}
+
+TEST(AnalysisDiagnostics, TablePrintRendersEveryRow) {
+  Analyzer analyzer;
+  const AnalysisReport report = analyzer.analyze(contradictory_program());
+  std::ostringstream os;
+  report.print(os);
+  EXPECT_NE(os.str().find("severity"), std::string::npos);
+  EXPECT_NE(os.str().find("NCK-P001"), std::string::npos);
+}
+
+TEST(ProgramPasses, CleanProgramProducesNoDiagnostics) {
+  Analyzer analyzer;
+  const AnalysisReport report = analyzer.analyze(clean_program());
+  EXPECT_TRUE(report.empty()) << report.summary(Severity::kNote);
+}
+
+TEST(ProgramPasses, EmptyProgramWarns) {
+  Analyzer analyzer;
+  const AnalysisReport report = analyzer.analyze(Env{});
+  ASSERT_TRUE(has_code(report, DiagCode::kEmptyProgram));
+  EXPECT_EQ(find_code(report, DiagCode::kEmptyProgram).severity,
+            Severity::kWarning);
+  EXPECT_FALSE(report.has_errors());
+}
+
+TEST(ProgramPasses, ContradictoryPairIsAnError) {
+  Analyzer analyzer;
+  const AnalysisReport report = analyzer.analyze(contradictory_program());
+  ASSERT_TRUE(has_code(report, DiagCode::kContradictoryPair));
+  const Diagnostic& d = find_code(report, DiagCode::kContradictoryPair);
+  EXPECT_EQ(d.severity, Severity::kError);
+  EXPECT_EQ(d.location.kind, DiagLocation::Kind::kConstraintPair);
+  EXPECT_EQ(d.location.index, 0u);
+  EXPECT_EQ(d.location.index2, 1u);
+  EXPECT_FALSE(d.hint.empty());
+}
+
+TEST(ProgramPasses, ContradictionNeedsIdenticalCollections) {
+  // Same selection sets, different collections: satisfiable, no error.
+  Env env;
+  const VarId a = env.var("a"), b = env.var("b"), c = env.var("c");
+  env.nck({a, b}, {2});
+  env.nck({b, c}, {0});  // wait: forces b false, but {a,b}={2} forces b true
+  Analyzer analyzer;
+  const AnalysisReport report = analyzer.analyze(env);
+  // This program *is* infeasible, but via propagation, not pair intersection.
+  EXPECT_FALSE(has_code(report, DiagCode::kContradictoryPair));
+  EXPECT_TRUE(has_code(report, DiagCode::kInfeasibleByPropagation));
+}
+
+TEST(ProgramPasses, PropagationFindsForcedValueConflicts) {
+  Env env;
+  const VarId a = env.var("a"), b = env.var("b");
+  env.nck({a}, {1});      // a must be TRUE
+  env.nck({a, b}, {0});   // a and b must both be FALSE
+  Analyzer analyzer;
+  const AnalysisReport report = analyzer.analyze(env);
+  ASSERT_TRUE(has_code(report, DiagCode::kInfeasibleByPropagation));
+  EXPECT_EQ(find_code(report, DiagCode::kInfeasibleByPropagation).severity,
+            Severity::kError);
+}
+
+TEST(ProgramPasses, PropagationUsesExactParityReasoning) {
+  // Multiplicity-2 members can only contribute even counts: nck({a,a,b,b},
+  // {1,3}) is unsatisfiable even though 1 and 3 lie inside [0, 4].
+  Env env;
+  const VarId a = env.var("a"), b = env.var("b");
+  env.nck({a, a, b, b}, {1, 3});
+  Analyzer analyzer;
+  const AnalysisReport report = analyzer.analyze(env);
+  EXPECT_TRUE(has_code(report, DiagCode::kInfeasibleByPropagation));
+}
+
+TEST(ProgramPasses, PropagationResultExposesForcedValues) {
+  Env env;
+  const VarId a = env.var("a"), b = env.var("b"), c = env.var("c");
+  env.all_true({a, b});
+  env.nck({b, c}, {1});  // b TRUE forces c FALSE
+  const PropagationResult prop = propagate_forced_values(env, {});
+  ASSERT_FALSE(prop.contradiction);
+  EXPECT_EQ(prop.values[a], ForcedValue::kTrue);
+  EXPECT_EQ(prop.values[b], ForcedValue::kTrue);
+  EXPECT_EQ(prop.values[c], ForcedValue::kFalse);
+}
+
+TEST(ProgramPasses, SoftConstraintsNeverMakeAProgramInfeasible) {
+  Env env;
+  const VarId a = env.var("a"), b = env.var("b");
+  env.nck({a, b}, {2});
+  env.nck({a, b}, {0}, ConstraintKind::kSoft);  // conflicting but soft
+  Analyzer analyzer;
+  const AnalysisReport report = analyzer.analyze(env);
+  EXPECT_FALSE(report.has_errors()) << report.summary();
+}
+
+TEST(ProgramPasses, TautologyWarns) {
+  Env env;
+  const VarId a = env.var("a"), b = env.var("b");
+  env.nck({a, b}, {0, 1, 2});
+  env.nck({a}, {1});  // keep the program non-trivial
+  Analyzer analyzer;
+  const AnalysisReport report = analyzer.analyze(env);
+  ASSERT_TRUE(has_code(report, DiagCode::kTautology));
+  const Diagnostic& d = find_code(report, DiagCode::kTautology);
+  EXPECT_EQ(d.severity, Severity::kWarning);
+  EXPECT_EQ(d.location.index, 0u);
+  EXPECT_FALSE(report.has_errors());
+}
+
+TEST(ProgramPasses, UnusedVariableWarns) {
+  Env env;
+  const VarId a = env.var("a");
+  env.var("dangling");
+  env.nck({a}, {1});
+  Analyzer analyzer;
+  const AnalysisReport report = analyzer.analyze(env);
+  ASSERT_TRUE(has_code(report, DiagCode::kUnusedVariable));
+  const Diagnostic& d = find_code(report, DiagCode::kUnusedVariable);
+  EXPECT_EQ(d.location.kind, DiagLocation::Kind::kVariable);
+  EXPECT_EQ(d.location.label, "dangling");
+}
+
+TEST(ProgramPasses, SoftOnlyVariableGetsANote) {
+  Env env;
+  const VarId a = env.var("a"), b = env.var("b");
+  env.nck({a}, {1});
+  env.prefer_true(b);
+  Analyzer analyzer;
+  const AnalysisReport report = analyzer.analyze(env);
+  ASSERT_TRUE(has_code(report, DiagCode::kSoftOnlyVariable));
+  EXPECT_EQ(find_code(report, DiagCode::kSoftOnlyVariable).severity,
+            Severity::kNote);
+  EXPECT_FALSE(has_code(report, DiagCode::kUnusedVariable));
+}
+
+TEST(ProgramPasses, DuplicateHardConstraintWarnsDuplicateSoftNotes) {
+  Env env;
+  const VarId a = env.var("a"), b = env.var("b");
+  env.nck({a, b}, {1});
+  env.nck({b, a}, {1});  // same multiset, different order
+  env.prefer_false(a);
+  env.prefer_false(a);
+  Analyzer analyzer;
+  const AnalysisReport report = analyzer.analyze(env);
+  std::size_t warnings = 0, notes = 0;
+  for (const auto& d : report.diagnostics()) {
+    if (d.code != DiagCode::kDuplicateConstraint) continue;
+    if (d.severity == Severity::kWarning) ++warnings;
+    if (d.severity == Severity::kNote) ++notes;
+  }
+  EXPECT_EQ(warnings, 1u);
+  EXPECT_EQ(notes, 1u);
+}
+
+TEST(ProgramPasses, ScaleSeparationLintFiresOnManySoftConstraints) {
+  Env env;
+  const auto vars = env.new_vars(40, "x");
+  env.at_least(vars, 1);
+  for (VarId v : vars) env.prefer_false(v);
+  Analyzer analyzer;
+  const AnalysisReport report = analyzer.analyze(env);
+  ASSERT_TRUE(has_code(report, DiagCode::kScaleSeparation));
+  EXPECT_EQ(find_code(report, DiagCode::kScaleSeparation).severity,
+            Severity::kWarning);
+
+  // Few soft constraints: the soft-energy unit stays resolvable.
+  Analyzer strict;
+  const AnalysisReport clean = strict.analyze(clean_program());
+  EXPECT_FALSE(has_code(clean, DiagCode::kScaleSeparation));
+}
+
+TEST(QuboPasses, SynthesisFailureBecomesADiagnostic) {
+  // Odd parity over three variables needs an ancilla; with the ancilla
+  // budget at zero and the closed forms disabled, synthesis must fail.
+  Env env;
+  const VarId a = env.var("a"), b = env.var("b"), c = env.var("c");
+  env.nck({a, b, c}, {1, 3});
+  SynthEngineOptions opts;
+  opts.use_builtin = false;
+  opts.max_ancillas = 0;
+  SynthEngine engine(opts);
+  const Device device = perfect_device("test", chimera_graph(2, 2));
+  Analyzer analyzer;
+  AnalysisTarget target;
+  target.annealer = &device;
+  const AnalysisReport report = analyzer.analyze(env, engine, target);
+  ASSERT_TRUE(has_code(report, DiagCode::kSynthesisFailed));
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(QuboPasses, InteractionGraphMatchesQuadraticTerms) {
+  Qubo q(4);
+  q.add_quadratic(0, 1, 1.0);
+  q.add_quadratic(2, 3, -2.0);
+  const Graph g = interaction_graph(q);
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 3));
+}
+
+TEST(QuboPasses, SubNoiseTermsAreFlagged) {
+  CompiledQubo compiled;
+  compiled.qubo.resize(3);
+  compiled.qubo.add_quadratic(0, 1, 100.0);
+  compiled.qubo.add_quadratic(1, 2, 0.01);  // 1e4:1 dynamic range
+  compiled.num_problem_vars = 3;
+  AnalysisReport report;
+  analyze_coefficient_range(compiled, {}, report);
+  ASSERT_TRUE(has_code(report, DiagCode::kSubNoiseTerm));
+  const Diagnostic& d = find_code(report, DiagCode::kSubNoiseTerm);
+  EXPECT_EQ(d.severity, Severity::kWarning);
+  EXPECT_NE(d.message.find("ICE"), std::string::npos);
+
+  // Uniform coefficients: nothing below the noise floor.
+  AnalysisReport clean;
+  analyze_coefficient_range(complete_compiled(4), {}, clean);
+  EXPECT_FALSE(has_code(clean, DiagCode::kSubNoiseTerm));
+}
+
+TEST(QuboPasses, EmbeddingInfeasibleWhenDeviceTooSmall) {
+  const Device tiny = perfect_device("tiny", path_graph(3));
+  AnalysisReport report;
+  analyze_embedding_feasibility(complete_compiled(5), tiny, {}, report);
+  ASSERT_TRUE(has_code(report, DiagCode::kEmbeddingInfeasible));
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(QuboPasses, EmbeddingInfeasibleWhenCouplersRunOut) {
+  // K5 has 10 logical edges; a 6-qubit path offers only 5 couplers.
+  const Device device = perfect_device("path6", path_graph(6));
+  AnalysisReport report;
+  analyze_embedding_feasibility(complete_compiled(5), device, {}, report);
+  ASSERT_TRUE(has_code(report, DiagCode::kEmbeddingInfeasible));
+  EXPECT_NE(find_code(report, DiagCode::kEmbeddingInfeasible)
+                .message.find("coupler"),
+            std::string::npos);
+}
+
+TEST(QuboPasses, EmbeddingTightWarnsBeforeInfeasible) {
+  // K5 on one Chimera K_{4,4} cell: 5 of 8 qubits needed by the lower
+  // bound (> 50% yield budget) but still feasible -> warning, no error.
+  const Device cell = perfect_device("cell", chimera_graph(1, 1));
+  AnalysisReport report;
+  analyze_embedding_feasibility(complete_compiled(5), cell, {}, report);
+  EXPECT_FALSE(report.has_errors()) << report.summary();
+  ASSERT_TRUE(has_code(report, DiagCode::kEmbeddingTight));
+
+  // A small problem on a big lattice is entirely clean.
+  const Device roomy = perfect_device("roomy", chimera_graph(4, 4));
+  AnalysisReport clean;
+  analyze_embedding_feasibility(complete_compiled(3), roomy, {}, clean);
+  EXPECT_TRUE(clean.empty()) << clean.summary(Severity::kNote);
+}
+
+TEST(QuboPasses, CircuitTooWideIsAnError) {
+  AnalysisReport report;
+  analyze_circuit_feasibility(complete_compiled(5), path_graph(3), {}, report);
+  ASSERT_TRUE(has_code(report, DiagCode::kCircuitTooWide));
+  EXPECT_TRUE(report.has_errors());
+
+  AnalysisReport clean;
+  analyze_circuit_feasibility(complete_compiled(3), path_graph(8), {}, clean);
+  EXPECT_FALSE(has_code(clean, DiagCode::kCircuitTooWide));
+}
+
+TEST(QuboPasses, CircuitDepthBudgetWarnsOnDenseProblems) {
+  // K12: 66 quadratic terms -> ~330 modeled CX at p=1, fidelity < 0.5.
+  AnalysisReport report;
+  analyze_circuit_feasibility(complete_compiled(12), path_graph(16), {},
+                              report);
+  ASSERT_TRUE(has_code(report, DiagCode::kCircuitDepthBudget));
+  EXPECT_EQ(find_code(report, DiagCode::kCircuitDepthBudget).severity,
+            Severity::kWarning);
+
+  AnalysisReport clean;
+  analyze_circuit_feasibility(complete_compiled(3), path_graph(8), {}, clean);
+  EXPECT_TRUE(clean.empty()) << clean.summary(Severity::kNote);
+}
+
+TEST(AnalyzerFacade, HardwarePassesSkippedWhenProgramIsBroken) {
+  SynthEngine engine;
+  const Device device = perfect_device("cell", chimera_graph(1, 1));
+  Analyzer analyzer;
+  AnalysisTarget target;
+  target.annealer = &device;
+  const AnalysisReport report =
+      analyzer.analyze(contradictory_program(), engine, target);
+  EXPECT_TRUE(report.has_errors());
+  // No QUBO-level diagnostics: compilation was never attempted.
+  for (const auto& d : report.diagnostics()) {
+    EXPECT_NE(diag_code_name(d.code)[4], 'Q');
+    EXPECT_NE(diag_code_name(d.code)[4], 'C');
+  }
+}
+
+TEST(AnalyzerFacade, CleanProgramOnRealTargetsStaysClean) {
+  SynthEngine engine;
+  Rng rng(7);
+  const Device device = advantage_4_1(rng);
+  const Graph coupling = heavy_hex_lattice(5);
+  Analyzer analyzer;
+  AnalysisTarget target;
+  target.annealer = &device;
+  target.coupling = &coupling;
+  const AnalysisReport report =
+      analyzer.analyze(clean_program(), engine, target);
+  EXPECT_FALSE(report.has_errors()) << report.summary();
+  EXPECT_FALSE(has_code(report, DiagCode::kEmbeddingTight));
+  EXPECT_FALSE(has_code(report, DiagCode::kCircuitTooWide));
+}
+
+TEST(SolverIntegration, InfeasibleProgramRejectedWithDiagnosticCode) {
+  Solver solver(42);
+  for (BackendKind backend : {BackendKind::kClassical, BackendKind::kAnnealer,
+                              BackendKind::kCircuit}) {
+    const SolveReport report = solver.solve(contradictory_program(), backend);
+    EXPECT_FALSE(report.ran);
+    EXPECT_NE(report.failure.find("NCK-P001"), std::string::npos)
+        << backend_name(backend) << ": " << report.failure;
+    EXPECT_TRUE(report.analysis.has_errors());
+    EXPECT_EQ(report.num_samples, 0u);  // no backend work happened
+  }
+}
+
+TEST(SolverIntegration, WarningsAttachToSuccessfulSolves) {
+  Env env = clean_program();
+  env.var("dangling");  // unused -> warning, but not an error
+  Solver solver(42);
+  const SolveReport report = solver.solve(env, BackendKind::kClassical);
+  ASSERT_TRUE(report.ran) << report.failure;
+  EXPECT_TRUE(report.analysis.has_code(DiagCode::kUnusedVariable));
+  EXPECT_FALSE(report.analysis.has_errors());
+}
+
+TEST(SolverIntegration, CleanSolveCarriesNoDiagnostics) {
+  Solver solver(42);
+  const SolveReport report =
+      solver.solve(clean_program(), BackendKind::kClassical);
+  ASSERT_TRUE(report.ran) << report.failure;
+  EXPECT_TRUE(report.analysis.empty())
+      << report.analysis.summary(Severity::kNote);
+}
+
+}  // namespace
+}  // namespace nck

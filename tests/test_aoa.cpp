@@ -145,7 +145,9 @@ TEST(Aoa, MixerKeepsTheFeasibleSubspace) {
   for (std::uint64_t basis = 0; basis < p.size(); ++basis) {
     const bool g0 = __builtin_popcountll(basis & 0b0011) == 1;
     const bool g1 = __builtin_popcountll(basis & 0b1100) == 1;
-    if (!(g0 && g1)) EXPECT_NEAR(p[basis], 0.0, 1e-9) << basis;
+    if (!(g0 && g1)) {
+      EXPECT_NEAR(p[basis], 0.0, 1e-9) << basis;
+    }
   }
 }
 

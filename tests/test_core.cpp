@@ -141,7 +141,7 @@ TEST(Env, ToStringIsConjunction) {
 
 // Helper: exhaustively find the best program-variable assignments of a
 // compiled QUBO (minimizing over ancillas).
-std::vector<std::vector<bool>> best_assignments(const Env& env,
+std::vector<std::vector<bool>> best_assignments(const Env& /*env*/,
                                                 const CompiledQubo& cq) {
   const std::size_t n = cq.num_problem_vars;
   const std::size_t a = cq.num_ancillas;

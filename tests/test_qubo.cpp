@@ -17,15 +17,16 @@ namespace {
 Qubo random_qubo(std::size_t n, Rng& rng, double density = 0.5) {
   Qubo q(n);
   for (std::size_t i = 0; i < n; ++i) {
-    q.add_linear(static_cast<Qubo::Var>(i), rng.between(-5, 5));
+    q.add_linear(static_cast<Qubo::Var>(i),
+                 static_cast<double>(rng.between(-5, 5)));
     for (std::size_t j = i + 1; j < n; ++j) {
       if (rng.bernoulli(density)) {
         q.add_quadratic(static_cast<Qubo::Var>(i), static_cast<Qubo::Var>(j),
-                        rng.between(-5, 5));
+                        static_cast<double>(rng.between(-5, 5)));
       }
     }
   }
-  q.add_offset(rng.between(-3, 3));
+  q.add_offset(static_cast<double>(rng.between(-3, 3)));
   return q;
 }
 
@@ -222,7 +223,8 @@ TEST(Heuristic, BoltzmannPrefersLowEnergy) {
   for (const auto& s : samples) {
     if (s.x[0]) ++ones;
   }
-  const double p1 = static_cast<double>(ones) / samples.size();
+  const double p1 =
+      static_cast<double>(ones) / static_cast<double>(samples.size());
   const double expected = std::exp(-2.0) / (1.0 + std::exp(-2.0));
   EXPECT_NEAR(p1, expected, 0.03);
 }
