@@ -3,17 +3,41 @@
 // readout (3-4x anneal) + delay (~20 us), sampling total slightly below the
 // programming cost, ~30 ms per job overall — plus the client-side costs
 // (QUBO compilation, embedding, and the ~40 ms submit preparation).
+//
+// `--trace=json` additionally captures a full observability trace per
+// client-side run and writes them as one machine-readable document to
+// BENCH_timing_dwave.json (override the path with --out=<file>) — the
+// per-stage timing record future sessions diff for perf trajectories.
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "anneal/backend.hpp"
 #include "anneal/topology.hpp"
 #include "graph/generators.hpp"
+#include "obs/json.hpp"
 #include "problems/vertex_cover.hpp"
 #include "util/table.hpp"
 
 using namespace nck;
 
-int main() {
+int main(int argc, char** argv) {
+  bool emit_json = false;
+  std::string out_path = "BENCH_timing_dwave.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace=json") {
+      emit_json = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else {
+      std::cerr << "usage: bench_timing_dwave [--trace=json] [--out=<file>]\n";
+      return 2;
+    }
+  }
+
   std::cout << "=== Section VIII-C: D-Wave timing model ===\n\n";
 
   const DWaveTimingModel model;
@@ -45,22 +69,44 @@ int main() {
   Rng rng(13);
   Table client({"problem", "nck-vars", "compile(ms)", "embed(ms)",
                 "qpu-total(ms)"});
+  std::vector<std::pair<std::string, obs::TraceData>> traces;
   for (std::size_t n : {9u, 18u, 27u}) {
+    const std::string label = "min-vertex-cover " + std::to_string(n) + "v";
     const VertexCoverProblem problem{vertex_scaling_graph(n)};
     const Env env = problem.encode();
     SynthEngine engine;  // fresh engine: includes first-pattern synthesis
     AnnealBackendOptions options;
     options.sampler.num_reads = 100;
+    obs::Trace trace;
     const AnnealOutcome outcome =
-        run_annealer(env, device, engine, rng, options);
+        run_annealer(env, device, engine, rng, options, &trace);
+    if (emit_json) traces.emplace_back(label, trace.snapshot());
     if (!outcome.embedded) continue;
     client.row()
-        .cell("min-vertex-cover " + std::to_string(n) + "v")
+        .cell(label)
         .cell(env.num_vars())
         .cell(outcome.timing.client_compile_ms, 2)
         .cell(outcome.timing.client_embed_ms, 2)
         .cell(outcome.timing.total_us / 1000.0, 2);
   }
   client.print(std::cout);
+
+  if (emit_json) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "bench_timing_dwave: cannot write " << out_path << "\n";
+      return 1;
+    }
+    out << "{\"bench\":\"timing_dwave\",\"runs\":[";
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      if (i) out << ",";
+      out << "{\"label\":\"" << traces[i].first << "\",\"trace\":";
+      obs::write_trace(out, traces[i].second);
+      out << "}";
+    }
+    out << "]}\n";
+    std::cout << "\nwrote " << traces.size() << " trace(s) to " << out_path
+              << "\n";
+  }
   return 0;
 }

@@ -2,14 +2,19 @@
 // core/parse.hpp from a file (or stdin with "-") and executes it on the
 // chosen backend, or statically analyzes it without running anything.
 //
-//   nck_cli [--backend=classical|annealer|circuit] [--seed=N]
-//           [--reads=N] [--shots=N] <program-file|->
+//   nck_cli [solve] [--backend=classical|annealer|circuit] [--seed=N]
+//           [--reads=N] [--shots=N] [--trace[=table|json]] <program-file|->
 //   nck_cli lint [--json] [--target=program|annealer|circuit|all]
 //           <program-file|->
 //
 // `lint` runs the nck::analysis passes and exits 0 when no error-severity
 // diagnostic was produced, 1 otherwise (warnings and notes do not affect
 // the exit status). --json emits the machine-readable report.
+//
+// `--trace` prints the per-stage observability trace of the solve
+// (compile/synth/embed/anneal or transpile/sample spans, synthesis cache
+// counters, chain-break metrics) as aligned tables; `--trace=json` emits
+// the nck-trace-v1 JSON document instead.
 //
 // Example program:
 //   # minimum vertex cover of a triangle
@@ -23,6 +28,7 @@
 #include "analysis/analyzer.hpp"
 #include "circuit/coupling.hpp"
 #include "core/parse.hpp"
+#include "obs/json.hpp"
 #include "runtime/solver.hpp"
 
 using namespace nck;
@@ -31,8 +37,9 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: nck_cli [--backend=classical|annealer|circuit] "
-               "[--seed=N] [--reads=N] [--shots=N] <program-file|->\n"
+               "usage: nck_cli [solve] [--backend=classical|annealer|circuit] "
+               "[--seed=N] [--reads=N] [--shots=N] [--trace[=table|json]] "
+               "<program-file|->\n"
                "       nck_cli lint [--json] "
                "[--target=program|annealer|circuit|all] <program-file|->\n");
   return 2;
@@ -115,9 +122,13 @@ int main(int argc, char** argv) {
   BackendKind backend = BackendKind::kClassical;
   std::uint64_t seed = 1234;
   std::size_t reads = 100, shots = 4000;
+  enum class TraceMode { kOff, kTable, kJson };
+  TraceMode trace_mode = TraceMode::kOff;
   const char* path = nullptr;
 
-  for (int i = 1; i < argc; ++i) {
+  // "solve" is an optional subcommand name (symmetry with "lint").
+  const int first_arg = argc >= 2 && std::strcmp(argv[1], "solve") == 0 ? 2 : 1;
+  for (int i = first_arg; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--backend=", 0) == 0) {
       const std::string value = arg.substr(10);
@@ -136,6 +147,10 @@ int main(int argc, char** argv) {
       reads = std::stoull(arg.substr(8));
     } else if (arg.rfind("--shots=", 0) == 0) {
       shots = std::stoull(arg.substr(8));
+    } else if (arg == "--trace" || arg == "--trace=table") {
+      trace_mode = TraceMode::kTable;
+    } else if (arg == "--trace=json") {
+      trace_mode = TraceMode::kJson;
     } else if (!path) {
       path = argv[i];
     } else {
@@ -160,9 +175,19 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "static analysis:\n");
     report.analysis.print(std::cerr);
   }
+  const auto print_trace = [&] {
+    if (trace_mode == TraceMode::kTable) {
+      std::printf("\ntrace:\n");
+      obs::print_trace(std::cout, report.trace);
+    } else if (trace_mode == TraceMode::kJson) {
+      std::cout << obs::trace_to_json(report.trace) << "\n";
+    }
+  };
+
   if (!report.ran) {
     std::printf("%s backend did not run: %s\n", backend_name(report.backend),
                 report.failure.c_str());
+    print_trace();
     return 1;
   }
 
@@ -180,5 +205,6 @@ int main(int argc, char** argv) {
   if (report.qubits_used) {
     std::printf("qubits used: %zu\n", report.qubits_used);
   }
+  print_trace();
   return report.best_quality == Quality::kIncorrect ? 1 : 0;
 }

@@ -21,11 +21,12 @@ Graph interaction_graph(const Qubo& q) {
 
 AnnealOutcome run_annealer(const Env& env, const Device& device,
                            SynthEngine& engine, Rng& rng,
-                           const AnnealBackendOptions& options) {
+                           const AnnealBackendOptions& options,
+                           obs::Trace* trace) {
   AnnealOutcome outcome;
 
   Timer compile_timer;
-  const CompiledQubo compiled = compile(env, engine, options.compile);
+  const CompiledQubo compiled = compile(env, engine, options.compile, trace);
   outcome.num_logical = compiled.num_qubo_vars();
 
   // Optional presolve: pin decidable variables, then sample only the free
@@ -34,6 +35,7 @@ AnnealOutcome run_annealer(const Env& env, const Device& device,
   PresolveResult pres;
   std::vector<std::size_t> free_vars;
   if (options.use_presolve) {
+    obs::Span presolve_span(trace, "presolve");
     pres = presolve(compiled.qubo);
     outcome.presolve_fixed = pres.num_fixed;
     std::vector<Qubo::Var> to_sampled(compiled.num_qubo_vars(), 0);
@@ -45,6 +47,7 @@ AnnealOutcome run_annealer(const Env& env, const Device& device,
     }
     sampled_qubo = pres.reduced.remapped(to_sampled);
     sampled_qubo.resize(free_vars.size());
+    obs::count(trace, "presolve.fixed", static_cast<double>(pres.num_fixed));
   }
   const IsingModel logical = qubo_to_ising(sampled_qubo);
   const double compile_ms = compile_timer.milliseconds();
@@ -79,12 +82,14 @@ AnnealOutcome run_annealer(const Env& env, const Device& device,
     return outcome;
   }
 
+  obs::Span embed_span(trace, "embed");
   Timer embed_timer;
   const Graph logical_graph = interaction_graph(sampled_qubo);
   const Graph working = device.working_graph();
   const auto embedding =
       find_embedding(logical_graph, working, rng, options.embed);
   const double embed_ms = embed_timer.milliseconds();
+  embed_span.close();
   if (!embedding) {
     outcome.timing.client_compile_ms = compile_ms;
     outcome.timing.client_embed_ms = embed_ms;
@@ -94,11 +99,20 @@ AnnealOutcome run_annealer(const Env& env, const Device& device,
   outcome.embedded = true;
   outcome.qubits_used = embedding->total_qubits();
   outcome.max_chain_length = embedding->max_chain_length();
+  if (trace) {
+    obs::Registry& reg = trace->registry();
+    reg.set("embed.qubits_used", static_cast<double>(outcome.qubits_used));
+    reg.set("embed.max_chain_length",
+            static_cast<double>(outcome.max_chain_length));
+    for (const auto& chain : embedding->chains) {
+      reg.observe("embed.chain_length", static_cast<double>(chain.size()));
+    }
+  }
 
   const EmbeddedProblem problem =
       embed_ising(logical, *embedding, working, options.chain_strength);
   const AnnealSampleResult sampled =
-      sample_annealer(logical, problem, options.sampler, rng);
+      sample_annealer(logical, problem, options.sampler, rng, trace);
 
   outcome.samples.reserve(sampled.reads.size());
   outcome.evaluations.reserve(sampled.reads.size());

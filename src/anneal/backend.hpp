@@ -41,9 +41,13 @@ struct AnnealOutcome {
 };
 
 /// Runs the program on the (simulated) annealing device. Uses and warms the
-/// provided synthesis engine; pass a fresh one for isolated runs.
+/// provided synthesis engine; pass a fresh one for isolated runs. When
+/// `trace` is non-null, the compile / presolve / embed / sample stages and
+/// their metrics (chain-length histogram, chain-break counters, modeled
+/// device times) are recorded into it.
 AnnealOutcome run_annealer(const Env& env, const Device& device,
                            SynthEngine& engine, Rng& rng,
-                           const AnnealBackendOptions& options = {});
+                           const AnnealBackendOptions& options = {},
+                           obs::Trace* trace = nullptr);
 
 }  // namespace nck

@@ -110,19 +110,25 @@ EmbeddedProblem embed_ising(const IsingModel& logical,
 
 std::vector<bool> unembed_sample(const std::vector<bool>& physical_sample,
                                  const EmbeddedProblem& problem,
-                                 std::size_t* chain_breaks) {
+                                 UnembedStats* stats, Rng* rng) {
   std::vector<bool> logical(problem.chain.size());
-  std::size_t breaks = 0;
+  UnembedStats local;
   for (std::size_t v = 0; v < problem.chain.size(); ++v) {
     std::size_t up = 0;
     for (std::uint32_t c : problem.chain[v]) {
       if (physical_sample[c]) ++up;
     }
     const std::size_t len = problem.chain[v].size();
-    if (up != 0 && up != len) ++breaks;
-    logical[v] = 2 * up >= len;  // majority vote (ties -> up)
+    if (up != 0 && up != len) ++local.chain_breaks;
+    if (len != 0 && 2 * up == len) {
+      // Exact tie: a fixed rule would bias every tied chain the same way.
+      ++local.ties;
+      logical[v] = rng ? rng->bernoulli(0.5) : true;
+    } else {
+      logical[v] = 2 * up > len;  // majority vote
+    }
   }
-  if (chain_breaks) *chain_breaks = breaks;
+  if (stats) *stats = local;
   return logical;
 }
 

@@ -7,6 +7,7 @@
 
 #include "anneal/embedding.hpp"
 #include "qubo/ising.hpp"
+#include "util/rng.hpp"
 
 namespace nck {
 
@@ -33,10 +34,20 @@ EmbeddedProblem embed_ising(const IsingModel& logical,
                             const Embedding& embedding, const Graph& physical,
                             double chain_strength = 0.0);
 
-/// Majority-vote per chain; `chain_breaks` (optional) receives the number of
-/// chains whose qubits disagreed.
+/// Chain-break accounting for one unembedded sample.
+struct UnembedStats {
+  std::size_t chain_breaks = 0;  // chains whose qubits disagreed
+  std::size_t ties = 0;          // broken even-length chains with a 50/50 vote
+};
+
+/// Majority-vote per chain. Exact ties (even-length broken chains) are
+/// resolved by a fair coin from `rng`, matching real chain-break
+/// postprocessing; a null `rng` falls back to the deterministic
+/// ties-to-TRUE rule (only appropriate for tests that need stability —
+/// it biases tied chains toward TRUE).
 std::vector<bool> unembed_sample(const std::vector<bool>& physical_sample,
                                  const EmbeddedProblem& problem,
-                                 std::size_t* chain_breaks = nullptr);
+                                 UnembedStats* stats = nullptr,
+                                 Rng* rng = nullptr);
 
 }  // namespace nck

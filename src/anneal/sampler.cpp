@@ -31,7 +31,8 @@ double max_abs_coefficient(const IsingModel& ising) {
 AnnealSampleResult sample_annealer(const IsingModel& logical,
                                    const EmbeddedProblem& problem,
                                    const AnnealerSamplerOptions& options,
-                                   Rng& rng) {
+                                   Rng& rng, obs::Trace* trace) {
+  obs::Span sample_span(trace, "anneal.sample");
   AnnealSampleResult result;
   result.reads.resize(options.num_reads);
 
@@ -93,7 +94,10 @@ AnnealSampleResult sample_annealer(const IsingModel& logical,
       }
     }
     AnnealRead& read = result.reads[static_cast<std::size_t>(r)];
-    read.logical = unembed_sample(physical.x, problem, &read.chain_breaks);
+    UnembedStats unembed_stats;
+    read.logical = unembed_sample(physical.x, problem, &unembed_stats, &stream);
+    read.chain_breaks = unembed_stats.chain_breaks;
+    read.chain_ties = unembed_stats.ties;
     if (options.postprocess) {
       read.logical = greedy_descent(logical_qubo, read.logical).x;
     }
@@ -109,9 +113,36 @@ AnnealSampleResult sample_annealer(const IsingModel& logical,
   result.timing.programming_us = options.timing_model.programming_us;
   result.timing.sampling_us =
       options.timing_model.sampling_time_us(options.num_reads);
-  result.timing.postprocess_us = options.timing_model.postprocess_us;
-  result.timing.total_us =
-      options.timing_model.qpu_access_time_us(options.num_reads);
+  // The postprocessing tail is only spent when postprocessing actually
+  // runs; the model's default charged it unconditionally.
+  result.timing.postprocess_us =
+      options.postprocess ? options.timing_model.postprocess_us : 0.0;
+  result.timing.total_us = result.timing.programming_us +
+                           result.timing.sampling_us +
+                           result.timing.postprocess_us;
+
+  if (trace) {
+    std::size_t total_breaks = 0;
+    std::size_t total_ties = 0;
+    for (const AnnealRead& read : result.reads) {
+      total_breaks += read.chain_breaks;
+      total_ties += read.chain_ties;
+    }
+    const std::size_t num_chains = problem.chain.size();
+    obs::Registry& reg = trace->registry();
+    reg.add("anneal.reads", static_cast<double>(options.num_reads));
+    reg.add("anneal.chain_breaks", static_cast<double>(total_breaks));
+    reg.add("anneal.chain_break_ties", static_cast<double>(total_ties));
+    reg.set("anneal.chain_break_rate",
+            options.num_reads && num_chains
+                ? static_cast<double>(total_breaks) /
+                      static_cast<double>(options.num_reads * num_chains)
+                : 0.0);
+    reg.set("anneal.ice_sigma", sigma);
+    trace->record_modeled("device.programming", result.timing.programming_us);
+    trace->record_modeled("device.sampling", result.timing.sampling_us);
+    trace->record_modeled("device.postprocess", result.timing.postprocess_us);
+  }
   return result;
 }
 

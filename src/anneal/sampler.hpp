@@ -7,6 +7,7 @@
 
 #include "anneal/embedded_ising.hpp"
 #include "anneal/timing.hpp"
+#include "obs/obs.hpp"
 #include "qubo/heuristic.hpp"
 #include "util/rng.hpp"
 
@@ -36,6 +37,7 @@ struct AnnealRead {
   std::vector<bool> logical;  // unembedded sample over logical spins
   double logical_energy = 0.0;
   std::size_t chain_breaks = 0;
+  std::size_t chain_ties = 0;  // broken chains resolved by a coin flip
 };
 
 struct AnnealSampleResult {
@@ -44,10 +46,13 @@ struct AnnealSampleResult {
 };
 
 /// Samples the embedded problem `num_reads` times (OpenMP-parallel across
-/// reads). `logical` is used only to report logical energies.
+/// reads). `logical` is used only to report logical energies. When `trace`
+/// is non-null, records the wall-clock sampling span, the modeled device
+/// stages, and chain-break / tie counters (aggregated once after the
+/// parallel loop).
 AnnealSampleResult sample_annealer(const IsingModel& logical,
                                    const EmbeddedProblem& problem,
                                    const AnnealerSamplerOptions& options,
-                                   Rng& rng);
+                                   Rng& rng, obs::Trace* trace = nullptr);
 
 }  // namespace nck

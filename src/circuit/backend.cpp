@@ -9,11 +9,12 @@ namespace nck {
 
 CircuitOutcome run_circuit_backend(const Env& env, const Graph& coupling,
                                    SynthEngine& engine, Rng& rng,
-                                   const CircuitBackendOptions& options) {
+                                   const CircuitBackendOptions& options,
+                                   obs::Trace* trace) {
   CircuitOutcome outcome;
 
   Timer compile_timer;
-  const CompiledQubo compiled = compile(env, engine, options.compile);
+  const CompiledQubo compiled = compile(env, engine, options.compile, trace);
   outcome.client_compile_ms = compile_timer.milliseconds();
   outcome.qubits_used = compiled.num_qubo_vars();
 
@@ -23,7 +24,7 @@ CircuitOutcome run_circuit_backend(const Env& env, const Graph& coupling,
 
   QaoaResult qaoa;
   try {
-    qaoa = run_qaoa(compiled.qubo, coupling, options.qaoa, rng);
+    qaoa = run_qaoa(compiled.qubo, coupling, options.qaoa, rng, trace);
   } catch (const std::invalid_argument&) {
     return outcome;  // device region too small after layout
   }
@@ -54,12 +55,21 @@ CircuitOutcome run_circuit_backend(const Env& env, const Graph& coupling,
 
   outcome.job_seconds.reserve(outcome.num_jobs);
   double total = options.timing.server_overhead_s;
+  double job_total = 0.0;
   for (std::size_t j = 0; j < outcome.num_jobs; ++j) {
     const double t = options.timing.job_seconds(rng);
     outcome.job_seconds.push_back(t);
+    job_total += t;
     total += t + options.timing.optimizer_s_per_job;
   }
   outcome.total_seconds = total;
+  if (trace) {
+    obs::Registry& reg = trace->registry();
+    reg.add("qaoa.jobs", static_cast<double>(outcome.num_jobs));
+    trace->record_modeled("device.server_overhead",
+                          options.timing.server_overhead_s * 1e6);
+    trace->record_modeled("device.jobs", job_total * 1e6);
+  }
   return outcome;
 }
 

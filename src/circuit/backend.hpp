@@ -46,8 +46,11 @@ struct CircuitOutcome {
   double client_compile_ms = 0.0;
 };
 
+/// When `trace` is non-null, records compile / transpile / QAOA stage
+/// spans and metrics, plus the modeled IBM job times.
 CircuitOutcome run_circuit_backend(const Env& env, const Graph& coupling,
                                    SynthEngine& engine, Rng& rng,
-                                   const CircuitBackendOptions& options = {});
+                                   const CircuitBackendOptions& options = {},
+                                   obs::Trace* trace = nullptr);
 
 }  // namespace nck

@@ -66,7 +66,7 @@ void apply_noise(std::vector<std::vector<bool>>& shots, double fidelity,
 }  // namespace
 
 QaoaResult run_qaoa(const Qubo& qubo, const Graph& coupling,
-                    const QaoaOptions& options, Rng& rng) {
+                    const QaoaOptions& options, Rng& rng, obs::Trace* trace) {
   QaoaResult result;
   const std::size_t n = qubo.num_variables();
   result.qubits = n;
@@ -75,9 +75,11 @@ QaoaResult run_qaoa(const Qubo& qubo, const Graph& coupling,
   // Transpiled metrics come from a representative (parameter-independent)
   // circuit: all QAOA iterations share gate structure, only angles differ
   // (the paper makes the same observation for its depth measurements).
+  obs::Span transpile_span(trace, "transpile");
   const std::vector<double> probe(static_cast<std::size_t>(2 * options.p), 0.5);
   const Circuit logical = build_qaoa_circuit(ising, probe);
   const auto transpiled = transpile(logical, coupling);
+  transpile_span.close();
   if (!transpiled) {
     throw std::invalid_argument("run_qaoa: circuit does not fit the device");
   }
@@ -88,6 +90,15 @@ QaoaResult run_qaoa(const Qubo& qubo, const Graph& coupling,
   const std::size_t n_1q =
       transpiled->physical.num_gates() - transpiled->physical.num_two_qubit_gates();
   result.fidelity = options.noise.fidelity(n_1q, result.cx_count);
+  if (trace) {
+    obs::Registry& reg = trace->registry();
+    reg.set("transpile.depth", static_cast<double>(result.depth));
+    reg.set("transpile.cx_count", static_cast<double>(result.cx_count));
+    reg.set("transpile.swap_count", static_cast<double>(result.swap_count));
+    reg.set("transpile.qubits_touched",
+            static_cast<double>(result.qubits_touched));
+    reg.set("qaoa.fidelity", result.fidelity);
+  }
 
   if (n <= options.max_sim_qubits) {
     result.mode = "statevector";
@@ -95,6 +106,7 @@ QaoaResult run_qaoa(const Qubo& qubo, const Graph& coupling,
     // exactly what the hardware loop would minimize.
     auto sample_circuit = [&](const std::vector<double>& params,
                               std::size_t shots) {
+      obs::count(trace, "statevector.runs");
       const Circuit circuit = build_qaoa_circuit(ising, params);
       StateVector state(n);
       circuit.run(state);
@@ -118,12 +130,17 @@ QaoaResult run_qaoa(const Qubo& qubo, const Graph& coupling,
     for (std::size_t i = 0; i < x0.size(); ++i) {
       x0[i] = i % 2 == 0 ? 0.8 : 0.4;  // gamma, beta starting guesses
     }
+    obs::Span optimize_span(trace, "qaoa.optimize");
     const OptimizeResult opt = nelder_mead(objective, x0, options.optimizer);
+    optimize_span.close();
+    obs::Span final_span(trace, "qaoa.sample");
     result.samples = sample_circuit(opt.x, options.shots);
+    final_span.close();
     result.num_jobs = opt.evaluations + 1;
   } else {
     // Boltzmann surrogate for circuits beyond the state-vector cutoff.
     result.mode = "boltzmann-surrogate";
+    obs::Span surrogate_span(trace, "qaoa.surrogate");
     Qubo normalized = qubo;
     const double scale = normalized.max_abs_coefficient();
     if (scale > 0.0) normalized.scale(1.0 / scale);

@@ -17,6 +17,7 @@
 #include "circuit/circuit.hpp"
 #include "circuit/optimizer.hpp"
 #include "circuit/transpiler.hpp"
+#include "obs/obs.hpp"
 #include "qubo/ising.hpp"
 #include "qubo/qubo.hpp"
 #include "util/rng.hpp"
@@ -70,7 +71,11 @@ Circuit build_qaoa_circuit(const IsingModel& ising,
 
 /// Runs the full QAOA pipeline against the given coupling map.
 /// Throws std::invalid_argument if the device is smaller than the problem.
+/// When `trace` is non-null, records transpile / optimize / sample spans,
+/// transpiled-circuit gauges (depth, CX, SWAP), the fidelity, and
+/// statevector-run counters.
 QaoaResult run_qaoa(const Qubo& qubo, const Graph& coupling,
-                    const QaoaOptions& options, Rng& rng);
+                    const QaoaOptions& options, Rng& rng,
+                    obs::Trace* trace = nullptr);
 
 }  // namespace nck

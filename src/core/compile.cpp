@@ -27,7 +27,9 @@ double max_min_penalty(const SynthesizedQubo& synth) {
 }
 
 CompiledQubo compile(const Env& env, SynthEngine& engine,
-                     const CompileOptions& options) {
+                     const CompileOptions& options, obs::Trace* trace) {
+  obs::Span compile_span(trace, "compile");
+  const SynthEngineStats stats_before = engine.stats();
   CompiledQubo out;
   out.num_problem_vars = env.num_vars();
 
@@ -80,6 +82,28 @@ CompiledQubo compile(const Env& env, SynthEngine& engine,
   total.resize(next_ancilla);  // declare trailing ancillas even if untouched
   out.qubo = std::move(total);
   out.num_ancillas = next_ancilla - env.num_vars();
+
+  if (trace) {
+    // Promote this run's SynthEngine::Stats deltas into the trace (the
+    // engine is long-lived and its totals span solves).
+    const SynthEngineStats& now = engine.stats();
+    obs::Registry& reg = trace->registry();
+    const auto delta = [](std::size_t after, std::size_t before) {
+      return static_cast<double>(after - before);
+    };
+    reg.add("synth.requests", delta(now.requests, stats_before.requests));
+    reg.add("synth.cache_hits", delta(now.cache_hits, stats_before.cache_hits));
+    reg.add("synth.cache_misses",
+            delta(now.requests, stats_before.requests) -
+                delta(now.cache_hits, stats_before.cache_hits));
+    reg.add("synth.builtin_hits",
+            delta(now.builtin_hits, stats_before.builtin_hits));
+    reg.add("synth.z3_calls", delta(now.z3_calls, stats_before.z3_calls));
+    reg.add("synth.lp_calls", delta(now.lp_calls, stats_before.lp_calls));
+    reg.set("compile.qubo_vars", static_cast<double>(out.num_qubo_vars()));
+    reg.set("compile.ancillas", static_cast<double>(out.num_ancillas));
+    reg.set("compile.hard_scale", out.hard_scale);
+  }
   return out;
 }
 

@@ -10,6 +10,7 @@
 #pragma once
 
 #include "core/env.hpp"
+#include "obs/obs.hpp"
 #include "qubo/qubo.hpp"
 #include "synth/engine.hpp"
 
@@ -41,8 +42,12 @@ struct CompiledQubo {
 
 /// Compiles `env` using (and warming) the given synthesis engine.
 /// Throws std::runtime_error if any constraint cannot be synthesized.
+/// When `trace` is non-null, records a "compile" span, this run's
+/// synthesis-engine deltas (requests, cache hits/misses, builtin/Z3/LP
+/// calls) as counters, and the QUBO shape as gauges.
 CompiledQubo compile(const Env& env, SynthEngine& engine,
-                     const CompileOptions& options = {});
+                     const CompileOptions& options = {},
+                     obs::Trace* trace = nullptr);
 
 /// Convenience overload with a default-configured engine.
 CompiledQubo compile(const Env& env, const CompileOptions& options = {});

@@ -1,0 +1,347 @@
+#include "obs/json.hpp"
+
+#include <cstdlib>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/table.hpp"
+
+namespace nck::obs {
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void write_double(std::ostream& os, double v) {
+  // max_digits10 round-trips binary64 exactly through text.
+  os << std::setprecision(std::numeric_limits<double>::max_digits10) << v;
+}
+
+void write_metric_map(std::ostream& os, const char* key,
+                      const std::map<std::string, double>& values) {
+  os << "\"" << key << "\":{";
+  bool first = true;
+  for (const auto& [name, value] : values) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\":";
+    write_double(os, value);
+  }
+  os << "}";
+}
+
+// ----------------------------------------------------------------- Parser
+//
+// Strict recursive-descent parser for the subset of JSON the writer emits
+// (objects, arrays, strings, numbers, booleans). Unknown keys are
+// rejected: the schema is ours, so silence would only hide writer drift.
+class Cursor {
+ public:
+  explicit Cursor(const std::string& text) : text_(text) {}
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "', got '" + text_[pos_] + "'");
+    }
+    ++pos_;
+  }
+
+  /// Consumes `c` if it is next; returns whether it did.
+  bool accept(char c) {
+    if (pos_ < text_.size() && peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          default: fail(std::string("unsupported escape '\\") + e + "'");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  double number() {
+    skip_ws();
+    const char* begin = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double value = std::strtod(begin, &end);
+    if (end == begin) fail("expected a number");
+    pos_ += static_cast<std::size_t>(end - begin);
+    return value;
+  }
+
+  bool boolean() {
+    skip_ws();
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return false;
+    }
+    fail("expected a boolean");
+  }
+
+  void finish() {
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+  }
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("trace_from_json: " + why + " at offset " +
+                             std::to_string(pos_));
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+std::map<std::string, double> parse_metric_map(Cursor& c) {
+  std::map<std::string, double> out;
+  c.expect('{');
+  if (c.accept('}')) return out;
+  do {
+    const std::string name = c.string();
+    c.expect(':');
+    out[name] = c.number();
+  } while (c.accept(','));
+  c.expect('}');
+  return out;
+}
+
+SpanRecord parse_span(Cursor& c) {
+  SpanRecord span;
+  c.expect('{');
+  do {
+    const std::string key = c.string();
+    c.expect(':');
+    if (key == "name") {
+      span.name = c.string();
+    } else if (key == "parent") {
+      const double parent = c.number();
+      span.parent =
+          parent < 0 ? kNoParent : static_cast<std::size_t>(parent);
+    } else if (key == "depth") {
+      span.depth = static_cast<std::size_t>(c.number());
+    } else if (key == "start_us") {
+      span.start_us = c.number();
+    } else if (key == "duration_us") {
+      span.duration_us = c.number();
+    } else if (key == "modeled") {
+      span.modeled = c.boolean();
+    } else {
+      c.fail("unknown span key \"" + key + "\"");
+    }
+  } while (c.accept(','));
+  c.expect('}');
+  return span;
+}
+
+HistogramData parse_histogram(Cursor& c) {
+  HistogramData h;
+  c.expect('{');
+  do {
+    const std::string key = c.string();
+    c.expect(':');
+    if (key == "count") {
+      h.count = static_cast<std::size_t>(c.number());
+    } else if (key == "sum") {
+      h.sum = c.number();
+    } else if (key == "min") {
+      h.min = c.number();
+    } else if (key == "max") {
+      h.max = c.number();
+    } else {
+      c.fail("unknown histogram key \"" + key + "\"");
+    }
+  } while (c.accept(','));
+  c.expect('}');
+  return h;
+}
+
+}  // namespace
+
+void write_trace(std::ostream& os, const TraceData& trace) {
+  os << "{\"schema\":\"nck-trace-v1\",\"spans\":[";
+  for (std::size_t i = 0; i < trace.spans.size(); ++i) {
+    const SpanRecord& s = trace.spans[i];
+    if (i) os << ",";
+    os << "{\"name\":\"" << json_escape(s.name) << "\",\"parent\":"
+       << (s.parent == kNoParent ? -1 : static_cast<long long>(s.parent))
+       << ",\"depth\":" << s.depth << ",\"start_us\":";
+    write_double(os, s.start_us);
+    os << ",\"duration_us\":";
+    write_double(os, s.duration_us);
+    os << ",\"modeled\":" << (s.modeled ? "true" : "false") << "}";
+  }
+  os << "],";
+  write_metric_map(os, "counters", trace.counters);
+  os << ",";
+  write_metric_map(os, "gauges", trace.gauges);
+  os << ",\"histograms\":{";
+  bool first = true;
+  for (const auto& [name, h] : trace.histograms) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\":{\"count\":" << h.count
+       << ",\"sum\":";
+    write_double(os, h.sum);
+    os << ",\"min\":";
+    write_double(os, h.min);
+    os << ",\"max\":";
+    write_double(os, h.max);
+    os << "}";
+  }
+  os << "}}";
+}
+
+std::string trace_to_json(const TraceData& trace) {
+  std::ostringstream os;
+  write_trace(os, trace);
+  return os.str();
+}
+
+TraceData trace_from_json(const std::string& text) {
+  TraceData trace;
+  Cursor c(text);
+  c.expect('{');
+  do {
+    const std::string key = c.string();
+    c.expect(':');
+    if (key == "schema") {
+      const std::string schema = c.string();
+      if (schema != "nck-trace-v1") {
+        throw std::runtime_error("trace_from_json: unsupported schema \"" +
+                                 schema + "\"");
+      }
+    } else if (key == "spans") {
+      c.expect('[');
+      if (!c.accept(']')) {
+        do {
+          trace.spans.push_back(parse_span(c));
+        } while (c.accept(','));
+        c.expect(']');
+      }
+    } else if (key == "counters") {
+      trace.counters = parse_metric_map(c);
+    } else if (key == "gauges") {
+      trace.gauges = parse_metric_map(c);
+    } else if (key == "histograms") {
+      c.expect('{');
+      if (!c.accept('}')) {
+        do {
+          const std::string name = c.string();
+          c.expect(':');
+          trace.histograms[name] = parse_histogram(c);
+        } while (c.accept(','));
+        c.expect('}');
+      }
+    } else {
+      c.fail("unknown trace key \"" + key + "\"");
+    }
+  } while (c.accept(','));
+  c.expect('}');
+  c.finish();
+  return trace;
+}
+
+TraceData read_trace(std::istream& is) {
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return trace_from_json(buffer.str());
+}
+
+void print_trace(std::ostream& os, const TraceData& trace) {
+  if (trace.empty()) {
+    os << "trace: empty\n";
+    return;
+  }
+  if (!trace.spans.empty()) {
+    Table spans({"span", "start(ms)", "dur(ms)", "kind"});
+    for (const SpanRecord& s : trace.spans) {
+      spans.row()
+          .cell(std::string(2 * s.depth, ' ') + s.name)
+          .cell(s.start_us / 1000.0, 3)
+          .cell(s.duration_us / 1000.0, 3)
+          .cell(s.modeled ? "model" : "wall");
+    }
+    spans.print(os);
+  }
+  if (!trace.counters.empty() || !trace.gauges.empty()) {
+    Table metrics({"metric", "kind", "value"});
+    for (const auto& [name, value] : trace.counters) {
+      metrics.row().cell(name).cell("counter").cell(value, 3);
+    }
+    for (const auto& [name, value] : trace.gauges) {
+      metrics.row().cell(name).cell("gauge").cell(value, 3);
+    }
+    metrics.print(os);
+  }
+  if (!trace.histograms.empty()) {
+    Table hist({"histogram", "count", "mean", "min", "max"});
+    for (const auto& [name, h] : trace.histograms) {
+      hist.row()
+          .cell(name)
+          .cell(h.count)
+          .cell(h.mean(), 3)
+          .cell(h.min, 3)
+          .cell(h.max, 3);
+    }
+    hist.print(os);
+  }
+}
+
+}  // namespace nck::obs

@@ -1,0 +1,38 @@
+// JSON serialization of trace snapshots, in the spirit of qubo/io: a
+// writer pair (stream + string) and a strict reader pair that round-trips
+// everything the writer emits. Schema (versioned as "nck-trace-v1"):
+//
+//   {
+//     "schema": "nck-trace-v1",
+//     "spans": [{"name": "...", "parent": -1, "depth": 0,
+//                "start_us": 0.0, "duration_us": 1.5, "modeled": false}],
+//     "counters": {"synth.requests": 5.0},
+//     "gauges": {"transpile.depth": 42.0},
+//     "histograms": {"embed.chain_length":
+//                    {"count": 4, "sum": 9.0, "min": 1.0, "max": 4.0}}
+//   }
+//
+// Doubles are written with max_digits10 precision so numeric values
+// round-trip bit-exactly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/obs.hpp"
+
+namespace nck::obs {
+
+void write_trace(std::ostream& os, const TraceData& trace);
+std::string trace_to_json(const TraceData& trace);
+
+/// Parses the format written by write_trace. Throws std::runtime_error on
+/// malformed input or a schema mismatch.
+TraceData read_trace(std::istream& is);
+TraceData trace_from_json(const std::string& text);
+
+/// Renders the trace as aligned tables (spans, then counters/gauges, then
+/// histograms) via util/table — the `nck_cli solve --trace` output.
+void print_trace(std::ostream& os, const TraceData& trace);
+
+}  // namespace nck::obs

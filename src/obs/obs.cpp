@@ -1,0 +1,91 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+
+namespace nck::obs {
+
+const SpanRecord* TraceData::find_span(const std::string& name) const noexcept {
+  for (const SpanRecord& s : spans) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+double TraceData::counter(const std::string& name) const noexcept {
+  const auto it = counters.find(name);
+  return it == counters.end() ? 0.0 : it->second;
+}
+
+double TraceData::gauge(const std::string& name) const noexcept {
+  const auto it = gauges.find(name);
+  return it == gauges.end() ? 0.0 : it->second;
+}
+
+void Registry::add(const std::string& name, double delta) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  counters_[name] += delta;
+}
+
+void Registry::set(const std::string& name, double value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  gauges_[name] = value;
+}
+
+void Registry::observe(const std::string& name, double value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  histograms_[name].observe(value);
+}
+
+void Registry::snapshot_into(TraceData& out) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  out.counters = counters_;
+  out.gauges = gauges_;
+  out.histograms = histograms_;
+}
+
+void Trace::record_modeled(const std::string& name, double duration_us) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  SpanRecord record;
+  record.name = name;
+  record.parent = stack_.empty() ? kNoParent : stack_.back();
+  record.depth = stack_.size();
+  record.start_us = elapsed_us();
+  record.duration_us = duration_us;
+  record.modeled = true;
+  spans_.push_back(std::move(record));
+}
+
+std::size_t Trace::open_span(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  SpanRecord record;
+  record.name = name;
+  record.parent = stack_.empty() ? kNoParent : stack_.back();
+  record.depth = stack_.size();
+  record.start_us = elapsed_us();
+  const std::size_t index = spans_.size();
+  spans_.push_back(std::move(record));
+  stack_.push_back(index);
+  return index;
+}
+
+void Trace::close_span(std::size_t index) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (index >= spans_.size()) return;
+  spans_[index].duration_us = elapsed_us() - spans_[index].start_us;
+  // Usually the innermost open span; erase wherever it sits so an
+  // out-of-order close() cannot wedge the stack.
+  const auto it = std::find(stack_.begin(), stack_.end(), index);
+  if (it != stack_.end()) stack_.erase(it);
+}
+
+TraceData Trace::snapshot() const {
+  TraceData out;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out.spans = spans_;
+  }
+  registry_.snapshot_into(out);
+  return out;
+}
+
+}  // namespace nck::obs

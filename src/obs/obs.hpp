@@ -1,0 +1,179 @@
+// Lightweight, zero-dependency tracing + metrics for the solve path.
+//
+// The pipeline (compile -> synth -> presolve -> embed -> anneal, or
+// compile -> transpile -> QAOA) reports per-stage costs through one
+// `Trace` per solve: RAII `Span`s time wall-clock stages on a monotonic
+// clock, modeled device times (the D-Wave/IBM timing models) enter as
+// `modeled` spans, and a thread-safe `Registry` holds named counters,
+// gauges, and min/max/sum histograms (e.g. the embedding chain-length
+// distribution).
+//
+// Naming scheme (see DESIGN.md §3b): dotted lowercase paths, with the
+// first component naming the stage ("compile", "synth", "presolve",
+// "embed", "anneal", "transpile", "qaoa", "statevector", "device").
+// Counters count events ("synth.cache_hits"), gauges record last-written
+// values ("transpile.depth"), histograms record distributions
+// ("embed.chain_length").
+//
+// Everything here degrades to a no-op when the trace pointer is null, so
+// instrumented code paths cost one branch when tracing is off.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace nck::obs {
+
+/// Sentinel parent index for root spans.
+inline constexpr std::size_t kNoParent = static_cast<std::size_t>(-1);
+
+/// One completed (or still-open) stage timing.
+struct SpanRecord {
+  std::string name;
+  std::size_t parent = kNoParent;  // index into TraceData::spans
+  std::size_t depth = 0;
+  double start_us = 0.0;     // offset from trace creation, monotonic clock
+  double duration_us = 0.0;  // 0 while the span is still open
+  /// Modeled device time (from a timing model) rather than measured wall
+  /// clock. Kept distinct so benches can separate client from device cost.
+  bool modeled = false;
+};
+
+/// Running min/max/sum/count summary of an observed distribution.
+struct HistogramData {
+  std::size_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  void observe(double value) noexcept {
+    if (count == 0) {
+      min = max = value;
+    } else {
+      if (value < min) min = value;
+      if (value > max) max = value;
+    }
+    sum += value;
+    ++count;
+  }
+  double mean() const noexcept {
+    return count ? sum / static_cast<double>(count) : 0.0;
+  }
+};
+
+/// Plain, copyable snapshot of a whole trace — what `SolveReport` carries
+/// and what the JSON exporter serializes.
+struct TraceData {
+  std::vector<SpanRecord> spans;
+  std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  bool empty() const noexcept {
+    return spans.empty() && counters.empty() && gauges.empty() &&
+           histograms.empty();
+  }
+  /// First span with the given name, or nullptr.
+  const SpanRecord* find_span(const std::string& name) const noexcept;
+  /// Counter/gauge value, or 0 when the name was never recorded.
+  double counter(const std::string& name) const noexcept;
+  double gauge(const std::string& name) const noexcept;
+};
+
+/// Thread-safe named metrics. Safe to call from inside OpenMP regions
+/// (one mutex; callers on hot paths should aggregate locally and record
+/// once per batch, as the annealing sampler does).
+class Registry {
+ public:
+  /// Adds `delta` to a monotonic counter (created at 0).
+  void add(const std::string& name, double delta = 1.0);
+  /// Sets a gauge to `value` (last write wins).
+  void set(const std::string& name, double value);
+  /// Feeds one observation into a histogram.
+  void observe(const std::string& name, double value);
+
+  void snapshot_into(TraceData& out) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, double> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, HistogramData> histograms_;
+};
+
+/// One trace per solve. Spans open/close LIFO on the constructing thread;
+/// the registry may be written from any thread.
+class Trace {
+ public:
+  Trace() : start_(Clock::now()) {}
+
+  Registry& registry() noexcept { return registry_; }
+
+  /// Appends a completed span with a duration taken from a device timing
+  /// model instead of the wall clock. Nested under the innermost open span.
+  void record_modeled(const std::string& name, double duration_us);
+
+  /// Copies spans + metrics into a plain snapshot. Open spans appear with
+  /// duration 0.
+  TraceData snapshot() const;
+
+ private:
+  friend class Span;
+  using Clock = std::chrono::steady_clock;
+
+  double elapsed_us() const noexcept {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+  std::size_t open_span(const std::string& name);
+  void close_span(std::size_t index);
+
+  Clock::time_point start_;
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> spans_;
+  std::vector<std::size_t> stack_;  // indices of open spans, innermost last
+  Registry registry_;
+};
+
+/// RAII stage timer. A null trace makes every operation a no-op, so call
+/// sites can thread an optional `Trace*` without branching themselves.
+class Span {
+ public:
+  Span(Trace* trace, const std::string& name) : trace_(trace) {
+    if (trace_) index_ = trace_->open_span(name);
+  }
+  Span(Trace& trace, const std::string& name) : Span(&trace, name) {}
+  ~Span() { close(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Closes early (idempotent); the destructor then does nothing.
+  void close() {
+    if (trace_) {
+      trace_->close_span(index_);
+      trace_ = nullptr;
+    }
+  }
+
+ private:
+  Trace* trace_ = nullptr;
+  std::size_t index_ = 0;
+};
+
+/// Convenience: adds to `trace->registry()` when trace is non-null.
+inline void count(Trace* trace, const std::string& name, double delta = 1.0) {
+  if (trace) trace->registry().add(name, delta);
+}
+inline void gauge(Trace* trace, const std::string& name, double value) {
+  if (trace) trace->registry().set(name, value);
+}
+inline void observe(Trace* trace, const std::string& name, double value) {
+  if (trace) trace->registry().observe(name, value);
+}
+
+}  // namespace nck::obs

@@ -73,9 +73,10 @@ class Qubo {
   /// Largest absolute coefficient over linear and quadratic terms.
   double max_abs_coefficient() const noexcept;
 
-  /// Remaps variable i to `mapping[i]`; mapping must be injective over the
-  /// variables that carry nonzero terms. Used when composing per-constraint
-  /// QUBOs into problem-level variable space.
+  /// Remaps variable i to `mapping[i]`. Used when composing per-constraint
+  /// QUBOs into problem-level variable space. A non-injective mapping
+  /// merges variables: quadratic terms whose endpoints collide fold into
+  /// linear terms (x^2 == x for binaries).
   Qubo remapped(std::span<const Var> mapping) const;
 
   /// Interaction list of (neighbor, coefficient) per variable; rebuilt on

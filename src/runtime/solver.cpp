@@ -24,27 +24,43 @@ Solver::Solver(std::uint64_t seed)
 SolveReport Solver::solve(const Env& env, BackendKind backend) {
   SolveReport report;
   report.backend = backend;
+  obs::Trace trace;
+  solve_impl(env, backend, report, trace);
+  report.trace = trace.snapshot();
+  return report;
+}
+
+void Solver::solve_impl(const Env& env, BackendKind backend,
+                        SolveReport& report, obs::Trace& trace) {
+  obs::Span solve_span(trace, "solve");
 
   // Static analysis runs before any backend (or even ground-truth) work:
   // error diagnostics are sound proofs that the solve cannot succeed.
-  AnalysisTarget target;
-  if (backend == BackendKind::kAnnealer) target.annealer = &device_;
-  if (backend == BackendKind::kCircuit) target.coupling = &coupling_;
-  report.analysis = analyzer_.analyze(env, engine_, target);
+  {
+    obs::Span analyze_span(trace, "analyze");
+    AnalysisTarget target;
+    if (backend == BackendKind::kAnnealer) target.annealer = &device_;
+    if (backend == BackendKind::kCircuit) target.coupling = &coupling_;
+    report.analysis = analyzer_.analyze(env, engine_, target);
+  }
   if (report.analysis.has_errors()) {
     report.failure =
         "static analysis rejected the program: " + report.analysis.summary();
-    return report;
+    return;
   }
 
-  report.truth = ground_truth(env);
+  {
+    obs::Span truth_span(trace, "ground_truth");
+    report.truth = ground_truth(env);
+  }
   if (!report.truth.feasible) {
     report.failure = "program is infeasible (hard constraints conflict)";
-    return report;
+    return;
   }
 
   switch (backend) {
     case BackendKind::kClassical: {
+      obs::Span span(trace, "classical");
       const ClassicalSolution solution = solve_exact(env);
       report.ran = true;
       report.best_assignment = solution.assignment;
@@ -55,11 +71,16 @@ SolveReport Solver::solve(const Env& env, BackendKind backend) {
       break;
     }
     case BackendKind::kAnnealer: {
+      obs::Span span(trace, "anneal");
       const AnnealOutcome outcome =
-          run_annealer(env, device_, engine_, rng_, anneal_options_);
+          run_annealer(env, device_, engine_, rng_, anneal_options_, &trace);
       if (!outcome.embedded) {
         report.failure = "no minor embedding found on the device";
-        return report;
+        return;
+      }
+      if (outcome.samples.empty()) {
+        report.failure = "annealer returned no samples (num_reads == 0?)";
+        return;
       }
       report.ran = true;
       report.qubits_used = outcome.qubits_used;
@@ -86,11 +107,16 @@ SolveReport Solver::solve(const Env& env, BackendKind backend) {
       break;
     }
     case BackendKind::kCircuit: {
-      const CircuitOutcome outcome =
-          run_circuit_backend(env, coupling_, engine_, rng_, circuit_options_);
+      obs::Span span(trace, "circuit");
+      const CircuitOutcome outcome = run_circuit_backend(
+          env, coupling_, engine_, rng_, circuit_options_, &trace);
       if (!outcome.fits) {
         report.failure = "problem does not fit the 65-qubit device";
-        return report;
+        return;
+      }
+      if (outcome.samples.empty()) {
+        report.failure = "circuit backend returned no samples (shots == 0?)";
+        return;
       }
       report.ran = true;
       report.qubits_used = outcome.qubits_used;
@@ -105,7 +131,6 @@ SolveReport Solver::solve(const Env& env, BackendKind backend) {
       break;
     }
   }
-  return report;
 }
 
 }  // namespace nck

@@ -12,6 +12,7 @@
 #include "anneal/backend.hpp"
 #include "circuit/backend.hpp"
 #include "core/env.hpp"
+#include "obs/obs.hpp"
 #include "runtime/result.hpp"
 #include "synth/engine.hpp"
 #include "util/rng.hpp"
@@ -40,6 +41,12 @@ struct SolveReport {
   std::size_t circuit_depth = 0;
   std::size_t num_samples = 0;
   double backend_seconds = 0.0;  // modeled device/QPU time
+  /// Per-stage spans and metrics recorded during this solve (wall-clock
+  /// stage timings, synthesis cache counters, embedding and sampling
+  /// statistics, modeled device times). Populated on every solve, including
+  /// failed ones. Serialize with obs::trace_to_json / render with
+  /// obs::print_trace.
+  obs::TraceData trace;
 };
 
 class Solver {
@@ -58,6 +65,11 @@ class Solver {
   Analyzer& analyzer() noexcept { return analyzer_; }
 
  private:
+  /// Body of solve(); the wrapper owns the trace and snapshots it into the
+  /// report on every exit path.
+  void solve_impl(const Env& env, BackendKind backend, SolveReport& report,
+                  obs::Trace& trace);
+
   SynthEngine engine_;
   Rng rng_;
   Device device_;

@@ -58,8 +58,7 @@ SynthesizedQubo SynthEngine::synthesize_uncached(
                            pattern.key());
 }
 
-const SynthesizedQubo& SynthEngine::synthesize(
-    const ConstraintPattern& pattern) {
+SynthesizedQubo SynthEngine::synthesize(const ConstraintPattern& pattern) {
   ++stats_.requests;
   const std::string key = pattern.key();
   if (options_.use_cache) {
@@ -79,8 +78,7 @@ const SynthesizedQubo& SynthEngine::synthesize(
   if (options_.use_cache) {
     return cache_.emplace(key, std::move(result)).first->second;
   }
-  scratch_ = std::move(result);
-  return scratch_;
+  return result;
 }
 
 }  // namespace nck

@@ -33,10 +33,13 @@ class SynthEngine {
  public:
   explicit SynthEngine(SynthEngineOptions options = {});
 
-  /// Synthesizes (or recalls) the QUBO for a pattern. Throws
-  /// std::runtime_error if no synthesizer succeeds within the ancilla
-  /// budget, or if verification is on and fails.
-  const SynthesizedQubo& synthesize(const ConstraintPattern& pattern);
+  /// Synthesizes (or recalls) the QUBO for a pattern. Returned by value:
+  /// results stay valid across subsequent calls regardless of the cache
+  /// setting (a reference into engine-owned storage was silently
+  /// invalidated by the next uncached call). Throws std::runtime_error if
+  /// no synthesizer succeeds within the ancilla budget, or if verification
+  /// is on and fails.
+  SynthesizedQubo synthesize(const ConstraintPattern& pattern);
 
   const SynthEngineStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = {}; }
@@ -50,7 +53,6 @@ class SynthEngine {
   std::vector<std::unique_ptr<ConstraintSynthesizer>> general_;
   std::unique_ptr<ConstraintSynthesizer> builtin_;
   std::unordered_map<std::string, SynthesizedQubo> cache_;
-  SynthesizedQubo scratch_;  // holds the result when caching is disabled
 };
 
 }  // namespace nck

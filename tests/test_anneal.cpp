@@ -214,12 +214,57 @@ TEST(EmbeddedIsing, UnembedMajorityVote) {
   EmbeddedProblem problem;
   problem.chain = {{0, 1, 2}, {3}};
   problem.qubit = {10, 11, 12, 13};
-  std::size_t breaks = 0;
-  // Chain 0: two of three up -> logical up, one break.
+  UnembedStats stats;
+  // Chain 0: two of three up -> logical up, one break, no tie.
   const auto logical =
-      unembed_sample({true, true, false, false}, problem, &breaks);
+      unembed_sample({true, true, false, false}, problem, &stats);
   EXPECT_EQ(logical, (std::vector<bool>{true, false}));
-  EXPECT_EQ(breaks, 1u);
+  EXPECT_EQ(stats.chain_breaks, 1u);
+  EXPECT_EQ(stats.ties, 0u);
+}
+
+TEST(EmbeddedIsing, TieBreakUsesRngNotAlwaysTrue) {
+  // Regression: an exactly split chain always resolved to TRUE, biasing
+  // every tied majority vote. With an Rng the coin must land both ways,
+  // and the tie must be counted.
+  EmbeddedProblem problem;
+  problem.chain = {{0, 1}};
+  problem.qubit = {10, 11};
+  const std::vector<bool> split{true, false};
+
+  Rng rng(21);
+  std::size_t trues = 0;
+  constexpr std::size_t kDraws = 200;
+  for (std::size_t i = 0; i < kDraws; ++i) {
+    UnembedStats stats;
+    const auto logical = unembed_sample(split, problem, &stats, &rng);
+    EXPECT_EQ(stats.chain_breaks, 1u);
+    EXPECT_EQ(stats.ties, 1u);
+    if (logical[0]) ++trues;
+  }
+  // A fair coin over 200 draws: both outcomes occur (each side fails with
+  // probability 2^-200).
+  EXPECT_GT(trues, 0u);
+  EXPECT_LT(trues, kDraws);
+
+  // Null rng keeps the deterministic ties-to-TRUE fallback for tests.
+  UnembedStats stats;
+  EXPECT_EQ(unembed_sample(split, problem, &stats, nullptr),
+            (std::vector<bool>{true}));
+  EXPECT_EQ(stats.ties, 1u);
+}
+
+TEST(EmbeddedIsing, OddChainsCannotTie) {
+  EmbeddedProblem problem;
+  problem.chain = {{0, 1, 2}};
+  problem.qubit = {10, 11, 12};
+  Rng rng(22);
+  UnembedStats stats;
+  const auto logical =
+      unembed_sample({false, true, false}, problem, &stats, &rng);
+  EXPECT_EQ(logical, (std::vector<bool>{false}));
+  EXPECT_EQ(stats.chain_breaks, 1u);
+  EXPECT_EQ(stats.ties, 0u);
 }
 
 TEST(EmbeddedIsing, ChainStrengthScalesWithCouplings) {
@@ -267,6 +312,51 @@ TEST(Sampler, TimingModelMatchesPaperBallpark) {
   EXPECT_GT(total_ms, 20.0);
   EXPECT_LT(total_ms, 40.0);
   EXPECT_LT(model.sampling_time_us(100), model.programming_us);
+}
+
+TEST(Sampler, PostprocessTimeOnlyChargedWhenEnabled) {
+  // Regression: the timing model charged the post-processing tail even
+  // when options.postprocess was off, over-reporting QPU access time.
+  IsingModel logical;
+  logical.h = {-0.5, -0.5};
+  logical.j = {{0, 1, -1.0}};
+  const Graph logical_graph = path_graph(2);
+  const Graph physical = pegasus_graph(2);
+  Rng rng(23);
+  const auto embedding = find_embedding(logical_graph, physical, rng);
+  ASSERT_TRUE(embedding.has_value());
+  const EmbeddedProblem problem = embed_ising(logical, *embedding, physical);
+
+  AnnealerSamplerOptions options;
+  options.num_reads = 5;
+  options.postprocess = false;
+  obs::Trace trace_off;
+  Rng rng_off(24);
+  const auto off = sample_annealer(logical, problem, options, rng_off,
+                                   &trace_off);
+  EXPECT_DOUBLE_EQ(off.timing.postprocess_us, 0.0);
+  EXPECT_DOUBLE_EQ(off.timing.total_us,
+                   off.timing.programming_us + off.timing.sampling_us);
+  // Asserted through the trace too: the modeled device span shows 0.
+  const obs::TraceData data_off = trace_off.snapshot();
+  const auto* span_off = data_off.find_span("device.postprocess");
+  ASSERT_NE(span_off, nullptr);
+  EXPECT_DOUBLE_EQ(span_off->duration_us, 0.0);
+
+  options.postprocess = true;
+  obs::Trace trace_on;
+  Rng rng_on(24);
+  const auto on = sample_annealer(logical, problem, options, rng_on,
+                                  &trace_on);
+  EXPECT_DOUBLE_EQ(on.timing.postprocess_us,
+                   options.timing_model.postprocess_us);
+  EXPECT_DOUBLE_EQ(on.timing.total_us, on.timing.programming_us +
+                                           on.timing.sampling_us +
+                                           on.timing.postprocess_us);
+  const obs::TraceData data_on = trace_on.snapshot();
+  const auto* span_on = data_on.find_span("device.postprocess");
+  ASSERT_NE(span_on, nullptr);
+  EXPECT_DOUBLE_EQ(span_on->duration_us, options.timing_model.postprocess_us);
 }
 
 TEST(Sampler, ExtremeNoiseDegradesResults) {

@@ -104,10 +104,48 @@ TEST(Qubo, RemappedRelabelsVariables) {
   EXPECT_EQ(r.num_variables(), 8u);
 }
 
+TEST(Qubo, ScaleRejectsNonPositiveFactor) {
+  Qubo q;
+  q.add_linear(0, 1.0);
+  EXPECT_THROW(q.scale(0.0), std::invalid_argument);
+  EXPECT_THROW(q.scale(-2.5), std::invalid_argument);
+  // A throwing scale must leave the QUBO untouched.
+  EXPECT_DOUBLE_EQ(q.linear(0), 1.0);
+}
+
 TEST(Qubo, EnergyRejectsShortAssignment) {
   Qubo q;
   q.add_linear(4, 1.0);
   EXPECT_THROW(q.energy({true, false}), std::invalid_argument);
+}
+
+TEST(Qubo, EnergyIgnoresTrailingExtraEntries) {
+  // Over-long assignments are fine (samplers hand back physical-size
+  // vectors); only indices below num_variables() contribute.
+  Qubo q;
+  q.add_linear(0, -1.0);
+  q.add_quadratic(0, 1, 2.0);
+  EXPECT_DOUBLE_EQ(q.energy({true, true, true, true}), 1.0);
+  EXPECT_DOUBLE_EQ(q.energy({true, false, true}), -1.0);
+}
+
+TEST(Qubo, RemappedDuplicateTargetsFoldQuadraticToLinear) {
+  // A non-injective mapping merges variables: x_i x_j with both mapped to
+  // the same target becomes x^2 == x, i.e. a linear term.
+  Qubo q;
+  q.add_linear(0, 1.0);
+  q.add_linear(1, 0.5);
+  q.add_quadratic(0, 1, 2.0);
+  const std::vector<Qubo::Var> mapping{4, 4};
+  const Qubo r = q.remapped(mapping);
+  EXPECT_DOUBLE_EQ(r.linear(4), 3.5);  // 1.0 + 0.5 + folded 2.0
+  EXPECT_EQ(r.num_quadratic_terms(), 0u);
+  EXPECT_EQ(r.num_variables(), 5u);
+  // Energies agree with substituting the merged variable.
+  EXPECT_DOUBLE_EQ(r.energy({false, false, false, false, true}),
+                   q.energy({true, true}));
+  EXPECT_DOUBLE_EQ(r.energy({false, false, false, false, false}),
+                   q.energy({false, false}));
 }
 
 TEST(Qubo, ToStringReadable) {

@@ -103,6 +103,33 @@ TEST(SolverFacade, CircuitBackendRunsSmallProblem) {
   EXPECT_GT(report.backend_seconds, 100.0);  // ~500 s of modeled server time
 }
 
+TEST(SolverFacade, ZeroReadsFailsSoftNotUndefined) {
+  // Regression: num_reads == 0 produced an empty sample vector and the
+  // solver indexed samples[best_idx] anyway (undefined behavior). It must
+  // now report a failure instead of running.
+  Solver solver(42);
+  solver.annealer_options().sampler.num_reads = 0;
+  const MaxCutProblem p{cycle_graph(4)};
+  const SolveReport report = solver.solve(p.encode(), BackendKind::kAnnealer);
+  EXPECT_FALSE(report.ran);
+  EXPECT_NE(report.failure.find("no samples"), std::string::npos)
+      << report.failure;
+  EXPECT_TRUE(report.best_assignment.empty());
+}
+
+TEST(SolverFacade, ZeroShotsFailsSoftNotUndefined) {
+  // Same regression on the circuit path: shots == 0 hit
+  // samples.front() / evaluations.front() on empty vectors.
+  Solver solver(42);
+  solver.circuit_options().qaoa.shots = 0;
+  const MaxCutProblem p{cycle_graph(4)};
+  const SolveReport report = solver.solve(p.encode(), BackendKind::kCircuit);
+  EXPECT_FALSE(report.ran);
+  EXPECT_NE(report.failure.find("no samples"), std::string::npos)
+      << report.failure;
+  EXPECT_TRUE(report.best_assignment.empty());
+}
+
 TEST(SolverFacade, SameProgramAcrossAllThreeBackends) {
   // The paper's portability claim: one program, three execution targets.
   Solver solver(7);

@@ -346,6 +346,25 @@ TEST(Engine, CacheDisabledRecomputes) {
   EXPECT_EQ(engine.stats().builtin_hits, 2u);
 }
 
+TEST(Engine, UncachedResultsStayValidAcrossCalls) {
+  // Regression: synthesize() used to return a reference into an
+  // engine-owned scratch slot when the cache was off, so the next call
+  // silently overwrote earlier results. It now returns by value; holding
+  // several results (including via lifetime-extended const references, as
+  // call sites do) must be safe.
+  SynthEngineOptions opt;
+  opt.use_cache = false;
+  SynthEngine engine(opt);
+  const auto& first = engine.synthesize(ConstraintPattern({1, 1}, {1, 2}));
+  const std::string first_qubo = first.qubo.to_string();
+  const std::string first_method = first.method;
+  const auto& second = engine.synthesize(ConstraintPattern({1, 1, 1}, {1}));
+  EXPECT_EQ(first.qubo.to_string(), first_qubo);
+  EXPECT_EQ(first.method, first_method);
+  EXPECT_EQ(second.method, "builtin-exact-k");
+  EXPECT_NE(first.qubo.to_string(), second.qubo.to_string());
+}
+
 TEST(Engine, BuiltinPreferredForContiguous) {
   SynthEngine engine;
   const ConstraintPattern p({1, 1, 1}, {1});
