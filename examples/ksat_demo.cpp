@@ -36,7 +36,7 @@ int main() {
       const SolveReport report = solver.solve(env, backend);
       if (!report.ran) {
         std::printf("%-10s %-9s: %s\n", label, backend_name(backend),
-                    report.failure.c_str());
+                    report.failure_message().c_str());
         continue;
       }
       std::printf("%-10s %-9s: %s, assignment satisfies formula: %s",

@@ -29,7 +29,7 @@ int main() {
   for (BackendKind backend : {BackendKind::kClassical, BackendKind::kAnnealer}) {
     const SolveReport report = solver.solve(env, backend);
     if (!report.ran) {
-      std::printf("%-9s: %s\n", backend_name(backend), report.failure.c_str());
+      std::printf("%-9s: %s\n", backend_name(backend), report.failure_message().c_str());
       continue;
     }
     const auto colors =

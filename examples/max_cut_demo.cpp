@@ -34,7 +34,7 @@ int main() {
        {BackendKind::kClassical, BackendKind::kAnnealer, BackendKind::kCircuit}) {
     const SolveReport report = solver.solve(lean, backend);
     if (!report.ran) {
-      std::printf("%-9s: %s\n", backend_name(backend), report.failure.c_str());
+      std::printf("%-9s: %s\n", backend_name(backend), report.failure_message().c_str());
       continue;
     }
     std::printf("%-9s: cut=%zu/%zu [%s]", backend_name(backend),

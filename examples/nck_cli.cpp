@@ -3,13 +3,25 @@
 // chosen backend, or statically analyzes it without running anything.
 //
 //   nck_cli [solve] [--backend=classical|annealer|circuit] [--seed=N]
-//           [--reads=N] [--shots=N] [--trace[=table|json]] <program-file|->
+//           [--reads=N] [--shots=N] [--trace[=table|json]]
+//           [--faults=SPEC] [--fault-seed=N] [--max-retries=N]
+//           [--deadline-ms=X] [--fallback=b1,b2,...] <program-file|->
 //   nck_cli lint [--json] [--target=program|annealer|circuit|all]
 //           <program-file|->
 //
 // `lint` runs the nck::analysis passes and exits 0 when no error-severity
 // diagnostic was produced, 1 otherwise (warnings and notes do not affect
 // the exit status). --json emits the machine-readable report.
+//
+// The resilience flags exercise the fault-tolerant solve layer:
+// `--faults` takes the spec grammar of resilience/fault.hpp (e.g.
+// "dead:2@1" kills two embedded qubits on the first attempt),
+// `--max-retries` allows that many extra attempts per backend with
+// modeled exponential backoff, `--deadline-ms` sets the modeled session
+// budget (sample counts are halved under pressure), and `--fallback`
+// names the backends tried after the primary one gives up. When any
+// attempt failed or recovered, the per-attempt resilience log is printed
+// after the result.
 //
 // `--trace` prints the per-stage observability trace of the solve
 // (compile/synth/embed/anneal or transpile/sample spans, synthesis cache
@@ -24,6 +36,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <stdexcept>
 
 #include "analysis/analyzer.hpp"
 #include "circuit/coupling.hpp"
@@ -39,10 +52,25 @@ int usage() {
   std::fprintf(stderr,
                "usage: nck_cli [solve] [--backend=classical|annealer|circuit] "
                "[--seed=N] [--reads=N] [--shots=N] [--trace[=table|json]] "
-               "<program-file|->\n"
+               "[--faults=SPEC] [--fault-seed=N] [--max-retries=N] "
+               "[--deadline-ms=X] [--fallback=b1,b2,...] <program-file|->\n"
                "       nck_cli lint [--json] "
                "[--target=program|annealer|circuit|all] <program-file|->\n");
   return 2;
+}
+
+/// "classical" / "annealer" / "circuit" -> BackendKind.
+bool parse_backend(const std::string& value, BackendKind* out) {
+  if (value == "classical") {
+    *out = BackendKind::kClassical;
+  } else if (value == "annealer") {
+    *out = BackendKind::kAnnealer;
+  } else if (value == "circuit") {
+    *out = BackendKind::kCircuit;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 bool read_program(const char* path, Env& env) {
@@ -124,6 +152,7 @@ int main(int argc, char** argv) {
   std::size_t reads = 100, shots = 4000;
   enum class TraceMode { kOff, kTable, kJson };
   TraceMode trace_mode = TraceMode::kOff;
+  ResilienceOptions resilience;
   const char* path = nullptr;
 
   // "solve" is an optional subcommand name (symmetry with "lint").
@@ -131,16 +160,7 @@ int main(int argc, char** argv) {
   for (int i = first_arg; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--backend=", 0) == 0) {
-      const std::string value = arg.substr(10);
-      if (value == "classical") {
-        backend = BackendKind::kClassical;
-      } else if (value == "annealer") {
-        backend = BackendKind::kAnnealer;
-      } else if (value == "circuit") {
-        backend = BackendKind::kCircuit;
-      } else {
-        return usage();
-      }
+      if (!parse_backend(arg.substr(10), &backend)) return usage();
     } else if (arg.rfind("--seed=", 0) == 0) {
       seed = std::stoull(arg.substr(7));
     } else if (arg.rfind("--reads=", 0) == 0) {
@@ -151,6 +171,37 @@ int main(int argc, char** argv) {
       trace_mode = TraceMode::kTable;
     } else if (arg == "--trace=json") {
       trace_mode = TraceMode::kJson;
+    } else if (arg.rfind("--faults=", 0) == 0) {
+      try {
+        resilience.faults = FaultPlan::parse(arg.substr(9));
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "nck_cli: %s\n", e.what());
+        return usage();
+      }
+    } else if (arg.rfind("--fault-seed=", 0) == 0) {
+      resilience.fault_seed = std::stoull(arg.substr(13));
+    } else if (arg.rfind("--max-retries=", 0) == 0) {
+      resilience.retry.max_retries = std::stoull(arg.substr(14));
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      resilience.retry.deadline_ms = std::stod(arg.substr(14));
+    } else if (arg.rfind("--fallback=", 0) == 0) {
+      // An explicitly empty chain flows through as kBadOptions (the
+      // solver owns option validation, not the CLI).
+      resilience.fallback.emplace();
+      const std::string chain = arg.substr(11);
+      std::size_t start = 0;
+      while (start < chain.size()) {
+        const std::size_t comma = chain.find(',', start);
+        const std::size_t end = comma == std::string::npos ? chain.size()
+                                                           : comma;
+        BackendKind rung;
+        if (!parse_backend(chain.substr(start, end - start), &rung)) {
+          return usage();
+        }
+        resilience.fallback->push_back(rung);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
     } else if (!path) {
       path = argv[i];
     } else {
@@ -170,6 +221,7 @@ int main(int argc, char** argv) {
   Solver solver(seed);
   solver.annealer_options().sampler.num_reads = reads;
   solver.circuit_options().qaoa.shots = shots;
+  solver.resilience_options() = resilience;
   const SolveReport report = solver.solve(env, backend);
   if (!report.analysis.empty()) {
     std::fprintf(stderr, "static analysis:\n");
@@ -184,9 +236,16 @@ int main(int argc, char** argv) {
     }
   };
 
+  const auto print_resilience = [&] {
+    if (!report.resilience.empty()) report.resilience.print(std::cout);
+  };
+
   if (!report.ran) {
-    std::printf("%s backend did not run: %s\n", backend_name(report.backend),
-                report.failure.c_str());
+    std::printf("%s backend did not run [%s]: %s\n",
+                backend_name(report.backend),
+                failure_kind_name(report.failure),
+                report.failure_message().c_str());
+    print_resilience();
     print_trace();
     return 1;
   }
@@ -205,6 +264,7 @@ int main(int argc, char** argv) {
   if (report.qubits_used) {
     std::printf("qubits used: %zu\n", report.qubits_used);
   }
+  print_resilience();
   print_trace();
   return report.best_quality == Quality::kIncorrect ? 1 : 0;
 }

@@ -39,7 +39,7 @@ int main() {
     const SolveReport report = solver.solve(env, backend);
     if (!report.ran) {
       std::printf("%-9s: did not run (%s)\n", backend_name(backend),
-                  report.failure.c_str());
+                  report.failure_message().c_str());
       continue;
     }
     std::printf("%-9s: a=%d b=%d c=%d  [%s]", backend_name(backend),

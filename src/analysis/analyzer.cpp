@@ -1,8 +1,45 @@
 #include "analysis/analyzer.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace nck {
+namespace {
+
+/// Hardware-level passes for one target, appended to `report`. Assumes
+/// the program-level analysis already passed. Returns false when the
+/// program could not even be compiled (NCK-Q000 was added).
+bool analyze_hardware(const Env& env, SynthEngine& engine,
+                      const AnalysisTarget& target,
+                      const AnalyzeOptions& options, AnalysisReport& report) {
+  if (!target.annealer && !target.coupling) return true;
+  if (env.num_constraints() == 0) return true;
+
+  CompiledQubo compiled;
+  try {
+    compiled = compile(env, engine);
+  } catch (const std::exception& e) {
+    report.add({Severity::kError, DiagCode::kSynthesisFailed,
+                DiagLocation::program(),
+                std::string("constraint QUBO synthesis failed: ") + e.what(),
+                "raise the synthesis ancilla budget or enable a general "
+                "synthesizer (Z3/LP)"});
+    return false;
+  }
+
+  if (target.annealer) {
+    analyze_coefficient_range(compiled, options.qubo, report);
+    analyze_embedding_feasibility(compiled, *target.annealer, options.qubo,
+                                  report);
+  }
+  if (target.coupling) {
+    analyze_circuit_feasibility(compiled, *target.coupling, options.qubo,
+                                report);
+  }
+  return true;
+}
+
+}  // namespace
 
 AnalysisReport Analyzer::analyze(const Env& env) const {
   AnalysisReport report;
@@ -16,29 +53,38 @@ AnalysisReport Analyzer::analyze(const Env& env, SynthEngine& engine,
   // A program that is already known-broken is not worth compiling, and the
   // compiler's hard-scale computation assumes a satisfiable conjunction.
   if (report.has_errors()) return report;
-  if (!target.annealer && !target.coupling) return report;
-  if (env.num_constraints() == 0) return report;
+  analyze_hardware(env, engine, target, options_, report);
+  return report;
+}
 
-  CompiledQubo compiled;
-  try {
-    compiled = compile(env, engine);
-  } catch (const std::exception& e) {
-    report.add({Severity::kError, DiagCode::kSynthesisFailed,
+AnalysisReport Analyzer::analyze_chain(
+    const Env& env, SynthEngine& engine,
+    const std::vector<AnalysisTarget>& chain) const {
+  AnalysisReport report = analyze(env);
+  if (report.has_errors() || chain.empty()) return report;
+
+  std::size_t feasible_rungs = 0;
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    AnalysisReport rung;
+    analyze_hardware(env, engine, chain[i], options_, rung);
+    if (!rung.has_errors()) ++feasible_rungs;
+    // A hard error on one rung is survivable — the solve degrades to the
+    // next rung — so it rides along demoted to a warning, tagged with the
+    // rung it came from.
+    for (Diagnostic d : rung.diagnostics()) {
+      if (d.severity == Severity::kError) d.severity = Severity::kWarning;
+      d.message = "fallback rung " + std::to_string(i + 1) + ": " + d.message;
+      report.add(std::move(d));
+    }
+  }
+
+  if (feasible_rungs == 0) {
+    report.add({Severity::kError, DiagCode::kFallbackChainInfeasible,
                 DiagLocation::program(),
-                std::string("constraint QUBO synthesis failed: ") + e.what(),
-                "raise the synthesis ancilla budget or enable a general "
-                "synthesizer (Z3/LP)"});
-    return report;
-  }
-
-  if (target.annealer) {
-    analyze_coefficient_range(compiled, options_.qubo, report);
-    analyze_embedding_feasibility(compiled, *target.annealer, options_.qubo,
-                                  report);
-  }
-  if (target.coupling) {
-    analyze_circuit_feasibility(compiled, *target.coupling, options_.qubo,
-                                report);
+                "no backend in the fallback chain can run this program (" +
+                    std::to_string(chain.size()) + " rung(s), all infeasible)",
+                "shorten the program or append a classical rung to the "
+                "fallback chain"});
   }
   return report;
 }

@@ -38,6 +38,14 @@ class Analyzer {
   AnalysisReport analyze(const Env& env, SynthEngine& engine,
                          const AnalysisTarget& target) const;
 
+  /// Feasibility pre-check of a resilient fallback chain: one target per
+  /// rung (both pointers null = the classical rung, always feasible).
+  /// Per-rung hardware errors are demoted to warnings — a later rung may
+  /// still land the solve — and tagged with their rung index; only when
+  /// *no* rung is feasible does the report carry an NCK-R000 error.
+  AnalysisReport analyze_chain(const Env& env, SynthEngine& engine,
+                               const std::vector<AnalysisTarget>& chain) const;
+
   const AnalyzeOptions& options() const noexcept { return options_; }
   AnalyzeOptions& options() noexcept { return options_; }
 

@@ -33,6 +33,7 @@ const char* diag_code_name(DiagCode code) noexcept {
     case DiagCode::kEmbeddingTight: return "NCK-Q003";
     case DiagCode::kCircuitTooWide: return "NCK-C001";
     case DiagCode::kCircuitDepthBudget: return "NCK-C002";
+    case DiagCode::kFallbackChainInfeasible: return "NCK-R000";
   }
   return "NCK-????";
 }

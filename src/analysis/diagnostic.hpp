@@ -34,6 +34,7 @@ enum class DiagCode {
   kEmbeddingTight,           // NCK-Q003: embedding likely to fail / be huge
   kCircuitTooWide,           // NCK-C001: more QUBO vars than device qubits
   kCircuitDepthBudget,       // NCK-C002: depth estimate exceeds coherence
+  kFallbackChainInfeasible,  // NCK-R000: no rung of the fallback chain fits
 };
 
 /// "NCK-P001" etc. — the stable identifier emitted in JSON and table output.

@@ -99,6 +99,39 @@ AnnealOutcome run_annealer(const Env& env, const Device& device,
   outcome.embedded = true;
   outcome.qubits_used = embedding->total_qubits();
   outcome.max_chain_length = embedding->max_chain_length();
+
+  if (options.faults) {
+    // The job is built and submitted only now, so an injected session
+    // fault wastes the client-side compile/embed work — as on real QPUs.
+    if (const auto fault = options.faults->submit_fault()) {
+      outcome.fault = fault;
+      outcome.timing.client_compile_ms = compile_ms;
+      outcome.timing.client_embed_ms = embed_ms;
+      obs::count(trace, std::string("resilience.fault.") + fault_name(*fault));
+      return outcome;
+    }
+    // Mid-session dead-qubit event: the device was already programmed, so
+    // that time is lost; the current embedding is invalidated.
+    std::vector<std::size_t> in_use;
+    for (const auto& chain : embedding->chains) {
+      in_use.insert(in_use.end(), chain.begin(), chain.end());
+    }
+    const std::vector<std::size_t> dead =
+        options.faults->dead_qubit_event(in_use);
+    if (!dead.empty()) {
+      outcome.fault = FaultKind::kDeadQubits;
+      outcome.dead_qubits = dead;
+      outcome.timing.programming_us = options.sampler.timing_model.programming_us;
+      outcome.timing.total_us = outcome.timing.programming_us;
+      outcome.timing.client_compile_ms = compile_ms;
+      outcome.timing.client_embed_ms = embed_ms;
+      obs::count(trace, "resilience.fault.dead-qubits");
+      obs::count(trace, "resilience.dead_qubits",
+                 static_cast<double>(dead.size()));
+      return outcome;
+    }
+  }
+
   if (trace) {
     obs::Registry& reg = trace->registry();
     reg.set("embed.qubits_used", static_cast<double>(outcome.qubits_used));
@@ -109,10 +142,19 @@ AnnealOutcome run_annealer(const Env& env, const Device& device,
     }
   }
 
+  AnnealerSamplerOptions sampler_options = options.sampler;
+  if (options.faults) {
+    const double drift = options.faults->drift_sigma();
+    if (drift > 0.0) {
+      sampler_options.ice_sigma += drift;
+      obs::gauge(trace, "resilience.drift_sigma", drift);
+    }
+  }
+
   const EmbeddedProblem problem =
       embed_ising(logical, *embedding, working, options.chain_strength);
   const AnnealSampleResult sampled =
-      sample_annealer(logical, problem, options.sampler, rng, trace);
+      sample_annealer(logical, problem, sampler_options, rng, trace);
 
   outcome.samples.reserve(sampled.reads.size());
   outcome.evaluations.reserve(sampled.reads.size());

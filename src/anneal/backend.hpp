@@ -11,6 +11,7 @@
 #include "anneal/topology.hpp"
 #include "core/compile.hpp"
 #include "core/env.hpp"
+#include "resilience/fault.hpp"
 #include "synth/engine.hpp"
 
 namespace nck {
@@ -25,6 +26,12 @@ struct AnnealBackendOptions {
   /// never consume physical qubits. Off by default so the paper-faithful
   /// benches report unreduced footprints.
   bool use_presolve = false;
+  /// When non-null, the backend consults this injector at the session
+  /// points where real QPU jobs fail: submission (rejection / queue
+  /// timeout, after the embedding is built), calibration drift (added to
+  /// the ICE sigma), and mid-session dead-qubit events (which abort the
+  /// run with `fault == kDeadQubits` so the caller can re-embed).
+  FaultInjector* faults = nullptr;
 };
 
 struct AnnealOutcome {
@@ -38,6 +45,11 @@ struct AnnealOutcome {
   std::vector<std::vector<bool>> samples;
   std::vector<Evaluation> evaluations;
   DWaveTiming timing;
+  /// Injected fault that aborted this run (nullopt = no fault fired).
+  std::optional<FaultKind> fault;
+  /// Physical qubits killed by a kDeadQubits fault; the caller should
+  /// mark them inoperable and re-embed.
+  std::vector<std::size_t> dead_qubits;
 };
 
 /// Runs the program on the (simulated) annealing device. Uses and warms the

@@ -22,6 +22,21 @@ CircuitOutcome run_circuit_backend(const Env& env, const Graph& coupling,
     return outcome;  // fits == false: more variables than physical qubits
   }
 
+  if (options.faults) {
+    // Session faults surface at submission / first execution, before any
+    // server time is spent (the job never leaves the queue).
+    if (const auto fault = options.faults->submit_fault()) {
+      outcome.fault = fault;
+      obs::count(trace, std::string("resilience.fault.") + fault_name(*fault));
+      return outcome;
+    }
+    if (options.faults->execution_fault()) {
+      outcome.fault = FaultKind::kExecutionError;
+      obs::count(trace, "resilience.fault.execution-error");
+      return outcome;
+    }
+  }
+
   QaoaResult qaoa;
   try {
     qaoa = run_qaoa(compiled.qubo, coupling, options.qaoa, rng, trace);

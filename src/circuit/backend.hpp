@@ -4,9 +4,12 @@
 // size correlation; ~500 s of server time per problem).
 #pragma once
 
+#include <optional>
+
 #include "circuit/qaoa.hpp"
 #include "core/compile.hpp"
 #include "core/env.hpp"
+#include "resilience/fault.hpp"
 #include "synth/engine.hpp"
 
 namespace nck {
@@ -26,6 +29,10 @@ struct CircuitBackendOptions {
   QaoaOptions qaoa;
   CompileOptions compile;
   IbmTimingModel timing;
+  /// When non-null, consulted at job submission (rejection / queue
+  /// timeout) and before execution (transient circuit errors); a fired
+  /// fault aborts the run with `CircuitOutcome::fault` set.
+  FaultInjector* faults = nullptr;
 };
 
 struct CircuitOutcome {
@@ -44,6 +51,8 @@ struct CircuitOutcome {
   std::vector<double> job_seconds;  // one entry per job (Fig 11 data)
   double total_seconds = 0.0;
   double client_compile_ms = 0.0;
+  /// Injected fault that aborted this run (nullopt = no fault fired).
+  std::optional<FaultKind> fault;
 };
 
 /// When `trace` is non-null, records compile / transpile / QAOA stage

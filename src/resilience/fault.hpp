@@ -1,0 +1,133 @@
+// Deterministic fault injection for the solve path. A FaultPlan is a
+// seeded schedule of the session failures real QPU backends exhibit —
+// job rejections, queue timeouts, calibration drift (growing h/J offsets
+// on top of the modeled ICE noise), mid-session dead-qubit events that
+// invalidate the current minor embedding, and transient circuit-execution
+// errors. Backends consult a FaultInjector at the points where the real
+// failure would surface (submit, post-embed, pre-execution), so the
+// recovery machinery in runtime::Solver can be exercised reproducibly:
+// the same plan + seed always fires the same faults on the same attempts.
+//
+// Plan spec grammar (the `nck_cli solve --faults=` argument):
+//
+//   spec    := event (',' event)*
+//   event   := kind [':' param] ['@' attempt]
+//   kind    := reject | timeout | drift | dead | exec
+//
+// `attempt` is the 1-based solve attempt the event fires on; omitted
+// means "every attempt". `param` is kind-specific: for `dead` the number
+// of embedded qubits to kill (default 1), for `drift` the per-attempt
+// sigma added to the ICE noise (default 0.01), for `timeout` the modeled
+// milliseconds wasted waiting in the queue (default 1000). Examples:
+// "reject@1" (first submission bounces), "dead:2@2" (two embedded qubits
+// die mid-session on attempt 2), "drift:0.005" (calibration drifts a
+// little more every attempt).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nck {
+
+enum class FaultKind {
+  kJobRejection,      // the (simulated) scheduler refuses the job
+  kQueueTimeout,      // the job waits past the queue limit; time is wasted
+  kCalibrationDrift,  // growing h/J offsets on top of the ICE noise
+  kDeadQubits,        // embedded qubits drop from the working graph
+  kExecutionError,    // transient circuit-execution failure
+};
+
+/// "job-rejection", "queue-timeout", ... — stable names used in spec
+/// parsing, obs counters, and the ResilienceLog.
+const char* fault_name(FaultKind kind) noexcept;
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kJobRejection;
+  double param = 0.0;       // see the grammar comment for per-kind meaning
+  std::size_t attempt = 0;  // 1-based attempt that triggers it; 0 = every
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  bool empty() const noexcept { return events.empty(); }
+  /// Canonical spec string ("dead:2@2,reject@1"); parse(to_string()) is
+  /// the identity on the event list.
+  std::string to_string() const;
+  /// Parses the spec grammar above. Throws std::invalid_argument naming
+  /// the offending token on malformed input.
+  static FaultPlan parse(const std::string& spec);
+  /// The fixed schedule enabled by NCK_CHAOS=1: first submission
+  /// rejected, then a two-qubit dead-qubit event on attempt 2.
+  static FaultPlan chaos_default();
+};
+
+/// One fault that actually fired, for the ResilienceLog.
+struct FaultRecord {
+  FaultKind kind = FaultKind::kJobRejection;
+  std::size_t attempt = 0;
+  double param = 0.0;           // resolved value (drift sigma, timeout ms)
+  std::size_t qubits_killed = 0;
+};
+
+/// Consults the plan on behalf of a backend. One injector lives for one
+/// solve; runtime::Solver calls begin_attempt() before each dispatch and
+/// the backend calls the query methods at the matching pipeline points.
+/// Every query is consumed at most once per attempt, so a backend that
+/// asks twice cannot double-fire an event.
+class FaultInjector {
+ public:
+  /// An empty injector never fires (the no-resilience fast path).
+  FaultInjector() = default;
+  FaultInjector(FaultPlan plan, std::uint64_t seed);
+
+  bool armed() const noexcept { return !plan_.events.empty(); }
+
+  /// Starts attempt `attempt` (1-based) and re-arms the per-attempt
+  /// queries.
+  void begin_attempt(std::size_t attempt);
+
+  /// Job-submission outcome: kJobRejection or kQueueTimeout when one is
+  /// due this attempt (rejection wins if both are), nullopt otherwise.
+  std::optional<FaultKind> submit_fault();
+
+  /// Extra ICE sigma for this attempt. Events pinned to an attempt
+  /// contribute their sigma once; "every attempt" events contribute
+  /// sigma * attempt — the drift grows over the session until the next
+  /// calibration.
+  double drift_sigma();
+
+  /// Mid-session dead-qubit event: returns the physical qubits (drawn
+  /// seeded from `in_use`, i.e. the current embedding) that just died,
+  /// or an empty vector when no event is due.
+  std::vector<std::size_t> dead_qubit_event(
+      const std::vector<std::size_t>& in_use);
+
+  /// Transient execution failure due this attempt?
+  bool execution_fault();
+
+  std::size_t attempt() const noexcept { return attempt_; }
+  const std::vector<FaultRecord>& history() const noexcept { return history_; }
+  /// Modeled milliseconds wasted by queue timeouts recorded at `attempt`.
+  double modeled_wait_ms(std::size_t attempt) const noexcept;
+
+ private:
+  bool due(const FaultEvent& e) const noexcept {
+    return e.attempt == 0 || e.attempt == attempt_;
+  }
+
+  FaultPlan plan_;
+  Rng rng_{0};
+  std::size_t attempt_ = 0;
+  bool submit_armed_ = false;
+  bool drift_armed_ = false;
+  bool dead_armed_ = false;
+  bool exec_armed_ = false;
+  std::vector<FaultRecord> history_;
+};
+
+}  // namespace nck

@@ -1,0 +1,65 @@
+// Retry policy and session-time accounting for resilient solves.
+//
+// All waiting is *modeled*: retries back off on a session clock that sums
+// measured client wall time, modeled device/QPU time, and modeled waits
+// (backoff sleeps, queue-timeout losses) — nothing actually sleeps, so
+// tests and CI exercise deadline pressure deterministically and fast. The
+// per-solve deadline budget in RetryPolicy::deadline_ms is checked against
+// this combined clock (DESIGN.md §3c spells out the accounting rules).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace nck {
+
+struct RetryPolicy {
+  /// Extra attempts allowed after the first, per backend in the fallback
+  /// chain. 0 = today's one-shot behavior.
+  std::size_t max_retries = 0;
+  double backoff_initial_ms = 50.0;
+  double backoff_multiplier = 2.0;
+  double backoff_max_ms = 5000.0;
+  /// Uniform jitter fraction in [0, 1]: each wait is scaled by a factor
+  /// drawn from [1 - jitter, 1 + jitter] to decorrelate retry storms.
+  double backoff_jitter = 0.25;
+  /// Total session budget (wall + modeled device + modeled waits) in
+  /// milliseconds. Infinity = no deadline.
+  double deadline_ms = std::numeric_limits<double>::infinity();
+
+  /// Modeled wait before retry number `retry` (1-based):
+  /// min(initial * multiplier^(retry-1), max), jittered via `rng`.
+  double backoff_ms(std::size_t retry, Rng& rng) const noexcept;
+
+  /// False (with an explanation in `why`) when any knob is NaN, negative,
+  /// or otherwise meaningless — surfaced as FailureKind::kBadOptions.
+  bool validate(std::string* why) const;
+};
+
+/// Modeled session clock: one budget across the three cost buckets.
+class SessionClock {
+ public:
+  void charge_wall_ms(double ms) noexcept { wall_ms_ += ms; }
+  void charge_device_ms(double ms) noexcept { device_ms_ += ms; }
+  void charge_wait_ms(double ms) noexcept { wait_ms_ += ms; }
+
+  double wall_ms() const noexcept { return wall_ms_; }
+  double device_ms() const noexcept { return device_ms_; }
+  double wait_ms() const noexcept { return wait_ms_; }
+  double elapsed_ms() const noexcept { return wall_ms_ + device_ms_ + wait_ms_; }
+
+ private:
+  double wall_ms_ = 0.0;
+  double device_ms_ = 0.0;
+  double wait_ms_ = 0.0;
+};
+
+/// One rung of the sample-budget degradation ladder: halves `current`
+/// toward `floor` (never below it). Applied repeatedly under deadline
+/// pressure until the modeled attempt cost fits the remaining budget.
+std::size_t degrade_samples(std::size_t current, std::size_t floor) noexcept;
+
+}  // namespace nck

@@ -1,0 +1,141 @@
+#include "runtime/resilience.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <ostream>
+
+#include "util/table.hpp"
+
+namespace nck {
+
+const char* failure_kind_name(FailureKind kind) noexcept {
+  switch (kind) {
+    case FailureKind::kNone: return "none";
+    case FailureKind::kBadOptions: return "bad-options";
+    case FailureKind::kAnalysisRejected: return "analysis-rejected";
+    case FailureKind::kInfeasible: return "infeasible";
+    case FailureKind::kNoEmbedding: return "no-embedding";
+    case FailureKind::kDeviceTooSmall: return "device-too-small";
+    case FailureKind::kNoSamples: return "no-samples";
+    case FailureKind::kJobRejected: return "job-rejected";
+    case FailureKind::kQueueTimeout: return "queue-timeout";
+    case FailureKind::kDeadQubits: return "dead-qubits";
+    case FailureKind::kExecutionError: return "execution-error";
+    case FailureKind::kRetriesExhausted: return "retries-exhausted";
+    case FailureKind::kDeadlineExhausted: return "deadline-exhausted";
+  }
+  return "?";
+}
+
+const char* failure_kind_description(FailureKind kind) noexcept {
+  switch (kind) {
+    case FailureKind::kNone: return "the solve ran";
+    case FailureKind::kBadOptions: return "backend options are invalid";
+    case FailureKind::kAnalysisRejected:
+      return "static analysis rejected the program";
+    case FailureKind::kInfeasible:
+      return "program is infeasible (hard constraints conflict)";
+    case FailureKind::kNoEmbedding:
+      return "no minor embedding found on the device";
+    case FailureKind::kDeviceTooSmall:
+      return "problem does not fit the device";
+    case FailureKind::kNoSamples: return "backend returned no samples";
+    case FailureKind::kJobRejected:
+      return "job submission rejected by the scheduler";
+    case FailureKind::kQueueTimeout: return "job timed out in the queue";
+    case FailureKind::kDeadQubits:
+      return "embedded qubits died mid-session";
+    case FailureKind::kExecutionError:
+      return "transient circuit-execution error";
+    case FailureKind::kRetriesExhausted:
+      return "retry budget exhausted without a successful attempt";
+    case FailureKind::kDeadlineExhausted:
+      return "session deadline exhausted";
+  }
+  return "?";
+}
+
+bool transient_failure(FailureKind kind) noexcept {
+  switch (kind) {
+    case FailureKind::kJobRejected:
+    case FailureKind::kQueueTimeout:
+    case FailureKind::kDeadQubits:
+    case FailureKind::kExecutionError:
+      return true;
+    default:
+      return false;
+  }
+}
+
+FailureKind failure_from_fault(FaultKind fault) noexcept {
+  switch (fault) {
+    case FaultKind::kJobRejection: return FailureKind::kJobRejected;
+    case FaultKind::kQueueTimeout: return FailureKind::kQueueTimeout;
+    case FaultKind::kDeadQubits: return FailureKind::kDeadQubits;
+    case FaultKind::kExecutionError: return FailureKind::kExecutionError;
+    // Drift degrades samples but never aborts an attempt by itself.
+    case FaultKind::kCalibrationDrift: return FailureKind::kNone;
+  }
+  return FailureKind::kNone;
+}
+
+bool ResilienceOptions::active() const noexcept {
+  return !faults.empty() || retry.max_retries > 0 || fallback.has_value() ||
+         std::isfinite(retry.deadline_ms);
+}
+
+std::optional<ResilienceOptions> ResilienceOptions::chaos_from_env() {
+  const char* value = std::getenv("NCK_CHAOS");
+  if (value == nullptr || std::strcmp(value, "0") == 0 || *value == '\0') {
+    return std::nullopt;
+  }
+  ResilienceOptions chaos;
+  chaos.faults = FaultPlan::chaos_default();
+  chaos.fault_seed = 0xC4A05u;
+  chaos.retry.max_retries = 4;
+  // Backoff is modeled, but keep it small so chaos deadline tests (which
+  // layer their own budgets on top) stay predictable.
+  chaos.retry.backoff_initial_ms = 5.0;
+  return chaos;
+}
+
+void ResilienceLog::print(std::ostream& os) const {
+  if (attempts.empty()) {
+    os << "resilience: no attempts recorded\n";
+    return;
+  }
+  os << "resilience: " << attempts.size() << " attempt(s), " << retries
+     << " retry(ies), " << reembeds << " re-embed(s), " << fallbacks
+     << " fallback(s), " << degradations << " degradation(s)";
+  if (deadline_exhausted) os << ", deadline exhausted";
+  os << "\n";
+  Table table({"#", "backend", "requested", "outcome", "wall(ms)",
+               "device(ms)", "wait(ms)", "detail"});
+  for (const AttemptRecord& a : attempts) {
+    table.row()
+        .cell(a.attempt)
+        .cell(backend_name(a.backend))
+        .cell(a.samples_requested)
+        .cell(a.failure == FailureKind::kNone ? "ok"
+                                              : failure_kind_name(a.failure))
+        .cell(a.wall_ms, 2)
+        .cell(a.device_ms, 2)
+        .cell(a.wait_ms, 2)
+        .cell(a.detail);
+  }
+  table.print(os);
+  if (!faults.empty()) {
+    Table fired({"fault", "attempt", "param", "qubits_killed"});
+    for (const FaultRecord& f : faults) {
+      fired.row()
+          .cell(fault_name(f.kind))
+          .cell(f.attempt)
+          .cell(f.param, 3)
+          .cell(f.qubits_killed);
+    }
+    fired.print(os);
+  }
+}
+
+}  // namespace nck

@@ -1,0 +1,108 @@
+// Typed failure causes, resilience configuration, and the per-solve
+// recovery log. Together with resilience/fault.hpp and
+// resilience/policy.hpp this is the contract of the resilient solve
+// layer: runtime::Solver retries transient failures with modeled
+// exponential backoff, re-embeds around dead qubits, shrinks sample
+// budgets under deadline pressure, and falls back along a configurable
+// backend chain before giving up. Every attempt and every recovery
+// action lands in the SolveReport's ResilienceLog and as obs spans and
+// counters, so `--trace` shows the whole recovery story.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "resilience/fault.hpp"
+#include "resilience/policy.hpp"
+#include "runtime/result.hpp"
+
+namespace nck {
+
+/// Why a solve (or one attempt of it) did not produce samples. Callers
+/// and the retry logic branch on this instead of string-matching;
+/// SolveReport::failure_message() keeps the human-readable story.
+enum class FailureKind {
+  kNone = 0,           // the solve ran
+  kBadOptions,         // rejected at entry: nonsensical backend options
+  kAnalysisRejected,   // static analysis proved the solve cannot succeed
+  kInfeasible,         // hard constraints conflict (ground truth)
+  kNoEmbedding,        // no minor embedding on the working graph
+  kDeviceTooSmall,     // more QUBO variables than physical qubits
+  kNoSamples,          // backend produced an empty sample set
+  kJobRejected,        // injected: scheduler refused the job
+  kQueueTimeout,       // injected: queue wait exceeded the limit
+  kDeadQubits,         // injected: embedded qubits died mid-session
+  kExecutionError,     // injected: transient circuit-execution failure
+  kRetriesExhausted,   // transient failures outlasted the retry budget
+  kDeadlineExhausted,  // the session deadline ran out
+};
+
+/// "dead-qubits", "retries-exhausted", ... — stable identifier.
+const char* failure_kind_name(FailureKind kind) noexcept;
+/// One-sentence display description ("no minor embedding found ...").
+const char* failure_kind_description(FailureKind kind) noexcept;
+/// Transient failures may succeed on a retry of the same backend
+/// (after recovery actions such as re-embedding); permanent ones move
+/// straight to the next fallback rung.
+bool transient_failure(FailureKind kind) noexcept;
+/// The FailureKind an injected fault surfaces as.
+FailureKind failure_from_fault(FaultKind fault) noexcept;
+
+struct ResilienceOptions {
+  FaultPlan faults;                     // empty = no injection
+  std::uint64_t fault_seed = 0xC4A05u;  // injector stream, per solve
+  RetryPolicy retry;
+  /// Backends tried, in order, after the primary backend exhausts its
+  /// retries (or the deadline). nullopt = no fallback; an engaged-but-
+  /// empty chain is rejected as kBadOptions.
+  std::optional<std::vector<BackendKind>> fallback;
+  /// Degradation-ladder floors: sample budgets are halved toward these
+  /// under deadline pressure, never below.
+  std::size_t min_reads = 10;
+  std::size_t min_shots = 100;
+
+  /// Anything for the solve loop to do beyond the one-shot path?
+  bool active() const noexcept;
+  /// The fixed-seed chaos configuration enabled by NCK_CHAOS=1 (used by
+  /// the CI chaos job): FaultPlan::chaos_default() plus four retries.
+  /// nullopt when the environment variable is unset or "0".
+  static std::optional<ResilienceOptions> chaos_from_env();
+};
+
+/// One dispatch of one backend within a solve.
+struct AttemptRecord {
+  std::size_t attempt = 0;  // 1-based, global across fallback rungs
+  BackendKind backend = BackendKind::kClassical;
+  /// num_reads / shots actually requested (after degradation); 1 for the
+  /// classical backend.
+  std::size_t samples_requested = 0;
+  FailureKind failure = FailureKind::kNone;  // kNone = this attempt ran
+  std::string detail;
+  double wall_ms = 0.0;    // measured client time for this attempt
+  double device_ms = 0.0;  // modeled device/QPU time charged
+  double wait_ms = 0.0;    // modeled backoff + queue-timeout waits
+};
+
+/// The recovery story of one solve.
+struct ResilienceLog {
+  std::vector<AttemptRecord> attempts;
+  std::vector<FaultRecord> faults;  // everything the injector fired
+  std::size_t retries = 0;          // attempts re-run after a transient failure
+  std::size_t reembeds = 0;         // re-embeds forced by dead-qubit events
+  std::size_t fallbacks = 0;        // rung changes along the fallback chain
+  std::size_t degradations = 0;     // sample-budget halvings under deadline
+  double total_wall_ms = 0.0;
+  double total_device_ms = 0.0;
+  double total_wait_ms = 0.0;
+  bool deadline_exhausted = false;
+
+  bool empty() const noexcept { return attempts.empty(); }
+  /// Aligned summary + per-attempt table via util/table (the
+  /// `nck_cli solve` resilience section).
+  void print(std::ostream& os) const;
+};
+
+}  // namespace nck

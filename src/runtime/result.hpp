@@ -12,6 +12,13 @@
 
 namespace nck {
 
+/// The three execution targets of the paper's portability claim. Lives
+/// here (not solver.hpp) so resilience types — fallback chains, attempt
+/// records — can name backends without pulling in the solver facade.
+enum class BackendKind { kClassical, kAnnealer, kCircuit };
+
+const char* backend_name(BackendKind kind) noexcept;
+
 enum class Quality { kOptimal, kSuboptimal, kIncorrect };
 
 const char* quality_name(Quality q) noexcept;

@@ -1,24 +1,84 @@
 #include "runtime/solver.hpp"
 
+#include <cmath>
+#include <optional>
+#include <string>
+
 #include "anneal/topology.hpp"
 #include "circuit/coupling.hpp"
 #include "classical/exact_solver.hpp"
+#include "util/timer.hpp"
 
 namespace nck {
+namespace {
 
-const char* backend_name(BackendKind kind) noexcept {
-  switch (kind) {
-    case BackendKind::kClassical: return "classical";
-    case BackendKind::kAnnealer: return "annealer";
-    case BackendKind::kCircuit: return "circuit";
+void fail(SolveReport& report, FailureKind kind, std::string detail) {
+  report.failure = kind;
+  report.failure_detail = std::move(detail);
+}
+
+/// Best annealer sample: first optimal, else first suboptimal, else first
+/// (reads are ordered by ascending logical energy).
+void fill_annealer_report(SolveReport& report, const AnnealOutcome& outcome) {
+  report.ran = true;
+  report.qubits_used = outcome.qubits_used;
+  report.num_samples = outcome.samples.size();
+  report.counts = classify_all(outcome.evaluations, report.truth);
+  report.backend_seconds = outcome.timing.total_us * 1e-6;
+  std::size_t best_idx = 0;
+  Quality best = Quality::kIncorrect;
+  for (std::size_t i = 0; i < outcome.evaluations.size(); ++i) {
+    const Quality q = classify(outcome.evaluations[i], report.truth);
+    if (q == Quality::kOptimal) {
+      best_idx = i;
+      best = q;
+      break;
+    }
+    if (q == Quality::kSuboptimal && best == Quality::kIncorrect) {
+      best_idx = i;
+      best = q;
+    }
   }
-  return "?";
+  report.best_assignment = outcome.samples[best_idx];
+  report.best_quality = best;
+}
+
+void fill_circuit_report(SolveReport& report, const CircuitOutcome& outcome) {
+  report.ran = true;
+  report.qubits_used = outcome.qubits_used;
+  report.circuit_depth = outcome.depth;
+  report.num_samples = outcome.samples.size();
+  report.counts = classify_all(outcome.evaluations, report.truth);
+  report.backend_seconds = outcome.total_seconds;
+  // QAOA reports a single answer: the lowest-energy sample.
+  report.best_assignment = outcome.samples.front();
+  report.best_quality = classify(outcome.evaluations.front(), report.truth);
+}
+
+bool check_finite_nonnegative(double value, const char* what,
+                              std::string* why) {
+  if (std::isnan(value) || value < 0.0 || !std::isfinite(value)) {
+    *why = std::string(what) + " must be finite and >= 0";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string SolveReport::failure_message() const {
+  if (failure == FailureKind::kNone) return "";
+  if (!failure_detail.empty()) return failure_detail;
+  return failure_kind_description(failure);
 }
 
 Solver::Solver(std::uint64_t seed)
     : rng_(seed), coupling_(brooklyn_coupling()) {
   Rng device_rng(seed ^ 0xD3071CEull);
   device_ = advantage_4_1(device_rng);
+  if (const auto chaos = ResilienceOptions::chaos_from_env()) {
+    resilience_ = *chaos;
+  }
 }
 
 SolveReport Solver::solve(const Env& env, BackendKind backend) {
@@ -30,22 +90,90 @@ SolveReport Solver::solve(const Env& env, BackendKind backend) {
   return report;
 }
 
+AnalysisTarget Solver::target_for(BackendKind backend) const noexcept {
+  AnalysisTarget target;
+  if (backend == BackendKind::kAnnealer) target.annealer = &device_;
+  if (backend == BackendKind::kCircuit) target.coupling = &coupling_;
+  return target;
+}
+
+bool Solver::validate_options(const std::vector<BackendKind>& chain,
+                              SolveReport& report) const {
+  std::string why;
+  const auto reject = [&](const std::string& detail) {
+    fail(report, FailureKind::kBadOptions, "invalid options: " + detail);
+    return false;
+  };
+
+  if (resilience_.fallback && resilience_.fallback->empty()) {
+    return reject("fallback chain is engaged but empty");
+  }
+  if (!resilience_.retry.validate(&why)) return reject(why);
+
+  bool uses_annealer = false;
+  bool uses_circuit = false;
+  for (BackendKind b : chain) {
+    uses_annealer |= b == BackendKind::kAnnealer;
+    uses_circuit |= b == BackendKind::kCircuit;
+  }
+
+  if (uses_annealer) {
+    const AnnealerSamplerOptions& s = anneal_options_.sampler;
+    if (s.num_reads == 0) return reject("annealer num_reads must be > 0");
+    if (s.num_sweeps == 0) return reject("annealer num_sweeps must be > 0");
+    const DWaveTimingModel& t = s.timing_model;
+    if (!check_finite_nonnegative(t.anneal_us, "anneal_us", &why) ||
+        !check_finite_nonnegative(t.programming_us, "programming_us", &why) ||
+        !check_finite_nonnegative(t.readout_us_per_anneal,
+                                  "readout_us_per_anneal", &why) ||
+        !check_finite_nonnegative(t.delay_us, "delay_us", &why) ||
+        !check_finite_nonnegative(t.postprocess_us, "postprocess_us", &why)) {
+      return reject(why);
+    }
+    if (std::isnan(s.ice_sigma) || s.ice_sigma < 0.0) {
+      return reject("ice_sigma must be >= 0");
+    }
+  }
+  if (uses_circuit) {
+    const QaoaOptions& q = circuit_options_.qaoa;
+    if (q.shots == 0) return reject("circuit shots must be > 0");
+    if (q.p < 1) return reject("QAOA depth p must be >= 1");
+  }
+  return true;
+}
+
 void Solver::solve_impl(const Env& env, BackendKind backend,
                         SolveReport& report, obs::Trace& trace) {
   obs::Span solve_span(trace, "solve");
 
+  // Chain: the primary backend, then the fallback rungs in order.
+  std::vector<BackendKind> chain{backend};
+  if (resilience_.fallback) {
+    for (BackendKind b : *resilience_.fallback) {
+      if (b != chain.back()) chain.push_back(b);
+    }
+  }
+
+  if (!validate_options(chain, report)) return;
+
   // Static analysis runs before any backend (or even ground-truth) work:
-  // error diagnostics are sound proofs that the solve cannot succeed.
+  // error diagnostics are sound proofs that the solve cannot succeed. In
+  // chain mode a rung-specific error is survivable (the solve degrades),
+  // so only program-level errors and NCK-R000 abort.
   {
     obs::Span analyze_span(trace, "analyze");
-    AnalysisTarget target;
-    if (backend == BackendKind::kAnnealer) target.annealer = &device_;
-    if (backend == BackendKind::kCircuit) target.coupling = &coupling_;
-    report.analysis = analyzer_.analyze(env, engine_, target);
+    if (chain.size() > 1) {
+      std::vector<AnalysisTarget> targets;
+      targets.reserve(chain.size());
+      for (BackendKind b : chain) targets.push_back(target_for(b));
+      report.analysis = analyzer_.analyze_chain(env, engine_, targets);
+    } else {
+      report.analysis = analyzer_.analyze(env, engine_, target_for(backend));
+    }
   }
   if (report.analysis.has_errors()) {
-    report.failure =
-        "static analysis rejected the program: " + report.analysis.summary();
+    fail(report, FailureKind::kAnalysisRejected,
+         "static analysis rejected the program: " + report.analysis.summary());
     return;
   }
 
@@ -54,83 +182,240 @@ void Solver::solve_impl(const Env& env, BackendKind backend,
     report.truth = ground_truth(env);
   }
   if (!report.truth.feasible) {
-    report.failure = "program is infeasible (hard constraints conflict)";
+    fail(report, FailureKind::kInfeasible,
+         "program is infeasible (hard constraints conflict)");
     return;
   }
 
-  switch (backend) {
-    case BackendKind::kClassical: {
-      obs::Span span(trace, "classical");
-      const ClassicalSolution solution = solve_exact(env);
-      report.ran = true;
-      report.best_assignment = solution.assignment;
-      const Evaluation eval = env.evaluate(solution.assignment);
-      report.best_quality = classify(eval, report.truth);
-      report.counts = classify_all({eval}, report.truth);
-      report.num_samples = 1;
-      break;
+  const bool resilient = resilience_.active();
+  const RetryPolicy& retry = resilience_.retry;
+  FaultInjector injector(resilience_.faults, resilience_.fault_seed);
+  SessionClock clock;
+  ResilienceLog& log = report.resilience;
+
+  // Dead-qubit events degrade a per-solve copy of the device, so one
+  // stormy session never poisons the next solve's calibration.
+  const Device* active_device = &device_;
+  Device degraded_device;
+
+  std::size_t attempt = 0;
+  FailureKind last_failure = FailureKind::kNone;
+  std::string last_detail;
+
+  for (std::size_t rung = 0; rung < chain.size(); ++rung) {
+    const BackendKind bk = chain[rung];
+    if (rung > 0) {
+      ++log.fallbacks;
+      obs::count(&trace, "resilience.fallbacks");
     }
-    case BackendKind::kAnnealer: {
-      obs::Span span(trace, "anneal");
-      const AnnealOutcome outcome =
-          run_annealer(env, device_, engine_, rng_, anneal_options_, &trace);
-      if (!outcome.embedded) {
-        report.failure = "no minor embedding found on the device";
-        return;
+    report.backend = bk;
+
+    std::size_t reads = anneal_options_.sampler.num_reads;
+    std::size_t shots = circuit_options_.qaoa.shots;
+    std::size_t optimizer_budget =
+        circuit_options_.qaoa.optimizer.max_evaluations;
+    std::size_t rung_attempts = 0;
+
+    while (true) {
+      // Deadline gate + degradation ladder. The classical rung is the
+      // guaranteed landing: it ignores the deadline (its modeled device
+      // cost is zero and it is the last resort "instead of failing").
+      double remaining = retry.deadline_ms - clock.elapsed_ms();
+      if (bk != BackendKind::kClassical && std::isfinite(retry.deadline_ms)) {
+        const auto estimate_ms = [&]() {
+          if (bk == BackendKind::kAnnealer) {
+            return anneal_options_.sampler.timing_model.qpu_access_time_us(
+                       reads) *
+                   1e-3;
+          }
+          const IbmTimingModel& t = circuit_options_.timing;
+          const double jobs = static_cast<double>(optimizer_budget) + 1.0;
+          return (t.server_overhead_s +
+                  jobs * (t.job_base_s + 0.5 * t.job_jitter_s +
+                          t.optimizer_s_per_job)) *
+                 1e3;
+        };
+        // Documented steps: halve the sample budget (and, for QAOA, the
+        // optimizer budget) toward the floor until the modeled attempt
+        // cost fits the remaining budget.
+        while (estimate_ms() > remaining) {
+          bool shrunk = false;
+          if (bk == BackendKind::kAnnealer && reads > resilience_.min_reads) {
+            reads = degrade_samples(reads, resilience_.min_reads);
+            shrunk = true;
+          } else if (bk == BackendKind::kCircuit &&
+                     (shots > resilience_.min_shots || optimizer_budget > 4)) {
+            shots = degrade_samples(shots, resilience_.min_shots);
+            optimizer_budget = degrade_samples(optimizer_budget, 4);
+            shrunk = true;
+          }
+          if (!shrunk) break;
+          ++log.degradations;
+          obs::count(&trace, "resilience.degradations");
+        }
+        if (estimate_ms() > remaining) {
+          log.deadline_exhausted = true;
+          last_failure = FailureKind::kDeadlineExhausted;
+          last_detail = std::string("session deadline exhausted before a ") +
+                        backend_name(bk) + " attempt could fit";
+          obs::count(&trace, "resilience.deadline_exhausted");
+          break;  // next rung
+        }
       }
-      if (outcome.samples.empty()) {
-        report.failure = "annealer returned no samples (num_reads == 0?)";
-        return;
+
+      ++attempt;
+      ++rung_attempts;
+      injector.begin_attempt(attempt);
+
+      AttemptRecord rec;
+      rec.attempt = attempt;
+      rec.backend = bk;
+      rec.samples_requested = bk == BackendKind::kAnnealer ? reads
+                              : bk == BackendKind::kCircuit ? shots
+                                                            : 1;
+
+      // Plain solves keep the pre-resilience trace shape (no attempt
+      // wrapper); resilient solves nest each backend span under one.
+      std::optional<obs::Span> attempt_span;
+      if (resilient) {
+        attempt_span.emplace(trace, "attempt");
+        obs::count(&trace, "resilience.attempts");
       }
-      report.ran = true;
-      report.qubits_used = outcome.qubits_used;
-      report.num_samples = outcome.samples.size();
-      report.counts = classify_all(outcome.evaluations, report.truth);
-      report.backend_seconds = outcome.timing.total_us * 1e-6;
-      // Best sample: first optimal, else first suboptimal, else first.
-      std::size_t best_idx = 0;
-      Quality best = Quality::kIncorrect;
-      for (std::size_t i = 0; i < outcome.evaluations.size(); ++i) {
-        const Quality q = classify(outcome.evaluations[i], report.truth);
-        if (q == Quality::kOptimal) {
-          best_idx = i;
-          best = q;
+      Timer wall;
+
+      FailureKind fk = FailureKind::kNone;
+      std::string detail;
+      std::vector<std::size_t> dead_qubits;
+
+      switch (bk) {
+        case BackendKind::kClassical: {
+          obs::Span span(trace, "classical");
+          const ClassicalSolution solution = solve_exact(env);
+          report.ran = true;
+          report.best_assignment = solution.assignment;
+          const Evaluation eval = env.evaluate(solution.assignment);
+          report.best_quality = classify(eval, report.truth);
+          report.counts = classify_all({eval}, report.truth);
+          report.num_samples = 1;
           break;
         }
-        if (q == Quality::kSuboptimal && best == Quality::kIncorrect) {
-          best_idx = i;
-          best = q;
+        case BackendKind::kAnnealer: {
+          obs::Span span(trace, "anneal");
+          AnnealBackendOptions options = anneal_options_;
+          options.sampler.num_reads = reads;
+          options.faults = injector.armed() ? &injector : nullptr;
+          const AnnealOutcome outcome = run_annealer(
+              env, *active_device, engine_, rng_, options, &trace);
+          rec.device_ms = outcome.timing.total_us * 1e-3;
+          if (outcome.fault) {
+            fk = failure_from_fault(*outcome.fault);
+            detail = failure_kind_description(fk);
+            dead_qubits = outcome.dead_qubits;
+            if (!dead_qubits.empty()) {
+              detail = std::to_string(dead_qubits.size()) +
+                       " embedded qubit(s) died mid-session";
+            }
+          } else if (!outcome.embedded) {
+            fk = FailureKind::kNoEmbedding;
+            detail = "no minor embedding found on the device";
+          } else if (outcome.samples.empty()) {
+            fk = FailureKind::kNoSamples;
+            detail = "annealer returned no samples";
+          } else {
+            fill_annealer_report(report, outcome);
+          }
+          break;
+        }
+        case BackendKind::kCircuit: {
+          obs::Span span(trace, "circuit");
+          CircuitBackendOptions options = circuit_options_;
+          options.qaoa.shots = shots;
+          options.qaoa.optimizer.max_evaluations = optimizer_budget;
+          options.faults = injector.armed() ? &injector : nullptr;
+          const CircuitOutcome outcome = run_circuit_backend(
+              env, coupling_, engine_, rng_, options, &trace);
+          rec.device_ms = outcome.total_seconds * 1e3;
+          if (outcome.fault) {
+            fk = failure_from_fault(*outcome.fault);
+            detail = failure_kind_description(fk);
+          } else if (!outcome.fits) {
+            fk = FailureKind::kDeviceTooSmall;
+            detail = "problem does not fit the 65-qubit device";
+          } else if (outcome.samples.empty()) {
+            fk = FailureKind::kNoSamples;
+            detail = "circuit backend returned no samples";
+          } else {
+            fill_circuit_report(report, outcome);
+          }
+          break;
         }
       }
-      report.best_assignment = outcome.samples[best_idx];
-      report.best_quality = best;
-      break;
-    }
-    case BackendKind::kCircuit: {
-      obs::Span span(trace, "circuit");
-      const CircuitOutcome outcome = run_circuit_backend(
-          env, coupling_, engine_, rng_, circuit_options_, &trace);
-      if (!outcome.fits) {
-        report.failure = "problem does not fit the 65-qubit device";
-        return;
+
+      rec.wall_ms = wall.milliseconds();
+      clock.charge_wall_ms(rec.wall_ms);
+      clock.charge_device_ms(rec.device_ms);
+      const double queue_wait = injector.modeled_wait_ms(attempt);
+      if (queue_wait > 0.0) {
+        rec.wait_ms += queue_wait;
+        clock.charge_wait_ms(queue_wait);
+        trace.record_modeled("resilience.queue_wait", queue_wait * 1e3);
       }
-      if (outcome.samples.empty()) {
-        report.failure = "circuit backend returned no samples (shots == 0?)";
-        return;
+
+      if (fk == FailureKind::kNone) {
+        if (resilient) log.attempts.push_back(rec);
+        break;  // success: report.ran is set
       }
-      report.ran = true;
-      report.qubits_used = outcome.qubits_used;
-      report.circuit_depth = outcome.depth;
-      report.num_samples = outcome.samples.size();
-      report.counts = classify_all(outcome.evaluations, report.truth);
-      report.backend_seconds = outcome.total_seconds;
-      // QAOA reports a single answer: the lowest-energy sample.
-      report.best_assignment = outcome.samples.front();
-      report.best_quality =
-          classify(outcome.evaluations.front(), report.truth);
-      break;
+
+      rec.failure = fk;
+      rec.detail = detail;
+      last_failure = fk;
+      last_detail = detail;
+
+      const bool can_retry =
+          transient_failure(fk) && rung_attempts <= retry.max_retries;
+      if (can_retry) {
+        if (fk == FailureKind::kDeadQubits) {
+          // Degradation ladder, step 1: drop the dead qubits from the
+          // working graph and re-embed on the next attempt.
+          if (active_device != &degraded_device) {
+            degraded_device = device_;
+            active_device = &degraded_device;
+          }
+          for (std::size_t q : dead_qubits) {
+            degraded_device.operable[q] = false;
+          }
+          ++log.reembeds;
+          obs::count(&trace, "resilience.reembeds");
+        }
+        const double backoff = retry.backoff_ms(rung_attempts, rng_);
+        rec.wait_ms += backoff;
+        clock.charge_wait_ms(backoff);
+        trace.record_modeled("resilience.backoff", backoff * 1e3);
+        ++log.retries;
+        obs::count(&trace, "resilience.retries");
+      }
+      log.attempts.push_back(rec);
+      if (!can_retry) {
+        if (transient_failure(fk) && retry.max_retries > 0 &&
+            rung + 1 >= chain.size()) {
+          last_failure = FailureKind::kRetriesExhausted;
+          last_detail = "retry budget exhausted after " +
+                        std::to_string(rung_attempts) + " attempt(s) on " +
+                        backend_name(bk) + " (last: " + detail + ")";
+        }
+        break;  // next rung
+      }
     }
+
+    if (report.ran) break;
   }
+
+  log.faults = injector.history();
+  log.total_wall_ms = clock.wall_ms();
+  log.total_device_ms = clock.device_ms();
+  log.total_wait_ms = clock.wait_ms();
+
+  if (!report.ran) fail(report, last_failure, last_detail);
 }
 
 }  // namespace nck

@@ -3,6 +3,15 @@
 // generalized NchooseK program to the classical solver, the (simulated)
 // D-Wave annealer, or the (simulated) IBM circuit device, and reports a
 // uniformly classified result.
+//
+// The solve path is resilient (see runtime/resilience.hpp): configure
+// resilience_options() with a fault plan, a retry policy, a deadline, and
+// a fallback chain, and solve() will retry transient session failures
+// with modeled exponential backoff, re-embed around mid-session dead
+// qubits, shrink sample budgets under deadline pressure, and degrade
+// along the fallback chain before reporting a typed failure. NCK_CHAOS=1
+// in the environment enables a fixed-seed fault schedule for every
+// solver instance (the CI chaos job).
 #pragma once
 
 #include <memory>
@@ -13,22 +22,28 @@
 #include "circuit/backend.hpp"
 #include "core/env.hpp"
 #include "obs/obs.hpp"
+#include "runtime/resilience.hpp"
 #include "runtime/result.hpp"
 #include "synth/engine.hpp"
 #include "util/rng.hpp"
 
 namespace nck {
 
-enum class BackendKind { kClassical, kAnnealer, kCircuit };
-
-const char* backend_name(BackendKind kind) noexcept;
-
 struct SolveReport {
+  /// Backend that produced the result; under fallback this is the rung
+  /// that actually ran (the full path is in `resilience.attempts`).
   BackendKind backend = BackendKind::kClassical;
-  bool ran = false;          // false: problem did not fit / embed / solve
-  std::string failure;       // why ran == false
+  bool ran = false;  // false: problem did not fit / embed / solve
+  /// Typed cause of ran == false (kNone while ran == true); the retry and
+  /// fallback machinery branches on this instead of string-matching.
+  FailureKind failure = FailureKind::kNone;
+  /// Human-readable specifics behind `failure` (may be empty).
+  std::string failure_detail;
+  /// Display string: the detail when present, else the generic
+  /// description of `failure`; empty when the solve ran.
+  std::string failure_message() const;
   /// Static-analysis findings gathered before dispatch: error diagnostics
-  /// abort the solve (ran == false, failure carries their summary), while
+  /// abort the solve (ran == false, failure == kAnalysisRejected), while
   /// warnings and notes ride along on successful solves.
   AnalysisReport analysis;
   GroundTruth truth;         // classical ground truth used to classify
@@ -40,7 +55,13 @@ struct SolveReport {
   std::size_t qubits_used = 0;
   std::size_t circuit_depth = 0;
   std::size_t num_samples = 0;
-  double backend_seconds = 0.0;  // modeled device/QPU time
+  /// Modeled device/QPU time of the attempt that produced the result;
+  /// cumulative session time lives in `resilience`.
+  double backend_seconds = 0.0;
+  /// Recovery story: every attempt, fault, retry, re-embed, degradation,
+  /// and fallback of this solve. Empty when the first attempt succeeded
+  /// with no resilience features active.
+  ResilienceLog resilience;
   /// Per-stage spans and metrics recorded during this solve (wall-clock
   /// stage timings, synthesis cache counters, embedding and sampling
   /// statistics, modeled device times). Populated on every solve, including
@@ -52,14 +73,18 @@ struct SolveReport {
 class Solver {
  public:
   /// Shares one synthesis engine (and its pattern cache) across solves,
-  /// like a long-lived NchooseK session.
+  /// like a long-lived NchooseK session. Honors NCK_CHAOS=1 by starting
+  /// from ResilienceOptions::chaos_from_env().
   explicit Solver(std::uint64_t seed = 1234);
 
-  /// Solves on the requested backend and classifies every sample.
+  /// Solves on the requested backend (retrying / degrading per
+  /// resilience_options()) and classifies every sample.
   SolveReport solve(const Env& env, BackendKind backend);
 
   AnnealBackendOptions& annealer_options() noexcept { return anneal_options_; }
   CircuitBackendOptions& circuit_options() noexcept { return circuit_options_; }
+  /// Fault injection, retry policy, deadline, and fallback chain.
+  ResilienceOptions& resilience_options() noexcept { return resilience_; }
   SynthEngine& engine() noexcept { return engine_; }
   /// Pre-dispatch static analyzer (tune thresholds via analyzer().options()).
   Analyzer& analyzer() noexcept { return analyzer_; }
@@ -69,6 +94,11 @@ class Solver {
   /// report on every exit path.
   void solve_impl(const Env& env, BackendKind backend, SolveReport& report,
                   obs::Trace& trace);
+  /// Entry validation: false (with kBadOptions set) when the options for
+  /// any backend on the solve chain are nonsensical.
+  bool validate_options(const std::vector<BackendKind>& chain,
+                        SolveReport& report) const;
+  AnalysisTarget target_for(BackendKind backend) const noexcept;
 
   SynthEngine engine_;
   Rng rng_;
@@ -77,6 +107,7 @@ class Solver {
   Analyzer analyzer_;
   AnnealBackendOptions anneal_options_;
   CircuitBackendOptions circuit_options_;
+  ResilienceOptions resilience_;
 };
 
 }  // namespace nck

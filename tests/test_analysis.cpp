@@ -427,8 +427,9 @@ TEST(SolverIntegration, InfeasibleProgramRejectedWithDiagnosticCode) {
                               BackendKind::kCircuit}) {
     const SolveReport report = solver.solve(contradictory_program(), backend);
     EXPECT_FALSE(report.ran);
-    EXPECT_NE(report.failure.find("NCK-P001"), std::string::npos)
-        << backend_name(backend) << ": " << report.failure;
+    EXPECT_EQ(report.failure, FailureKind::kAnalysisRejected);
+    EXPECT_NE(report.failure_message().find("NCK-P001"), std::string::npos)
+        << backend_name(backend) << ": " << report.failure_message();
     EXPECT_TRUE(report.analysis.has_errors());
     EXPECT_EQ(report.num_samples, 0u);  // no backend work happened
   }
@@ -439,7 +440,7 @@ TEST(SolverIntegration, WarningsAttachToSuccessfulSolves) {
   env.var("dangling");  // unused -> warning, but not an error
   Solver solver(42);
   const SolveReport report = solver.solve(env, BackendKind::kClassical);
-  ASSERT_TRUE(report.ran) << report.failure;
+  ASSERT_TRUE(report.ran) << report.failure_message();
   EXPECT_TRUE(report.analysis.has_code(DiagCode::kUnusedVariable));
   EXPECT_FALSE(report.analysis.has_errors());
 }
@@ -448,7 +449,7 @@ TEST(SolverIntegration, CleanSolveCarriesNoDiagnostics) {
   Solver solver(42);
   const SolveReport report =
       solver.solve(clean_program(), BackendKind::kClassical);
-  ASSERT_TRUE(report.ran) << report.failure;
+  ASSERT_TRUE(report.ran) << report.failure_message();
   EXPECT_TRUE(report.analysis.empty())
       << report.analysis.summary(Severity::kNote);
 }

@@ -209,6 +209,76 @@ TEST(TraceJson, RejectsMalformedInput) {
   EXPECT_THROW(obs::trace_from_json(good + "trailing"), std::runtime_error);
 }
 
+TEST(TraceJson, ReaderRejectsCorruptDocuments) {
+  // Table-driven corruption sweep: every document must be rejected with a
+  // clear std::runtime_error — never a crash, hang, or silent partial
+  // parse. Documents are grouped by the failure they exercise.
+  struct Case {
+    const char* label;
+    const char* doc;
+  };
+  const Case cases[] = {
+      {"empty document", ""},
+      {"whitespace only", "   \n\t  "},
+      {"array root", "[]"},
+      {"null root", "null"},
+      {"bare number", "42"},
+      {"unterminated object", "{\"schema\":\"nck-trace-v1\""},
+      {"wrong schema version", "{\"schema\":\"nck-trace-v0\"}"},
+      {"future schema version", "{\"schema\":\"nck-trace-v2\"}"},
+      {"schema value not a string", "{\"schema\":42}"},
+      {"unknown top-level key", "{\"schema\":\"nck-trace-v1\",\"bogus\":1}"},
+      {"missing colon", "{\"schema\" \"nck-trace-v1\"}"},
+      {"spans not an array", "{\"schema\":\"nck-trace-v1\",\"spans\":{}}"},
+      {"span not an object", "{\"schema\":\"nck-trace-v1\",\"spans\":[7]}"},
+      {"empty span object", "{\"schema\":\"nck-trace-v1\",\"spans\":[{}]}"},
+      {"unknown span key",
+       "{\"schema\":\"nck-trace-v1\",\"spans\":[{\"wat\":1}]}"},
+      {"unquoted span key",
+       "{\"schema\":\"nck-trace-v1\",\"spans\":[{name:\"x\"}]}"},
+      {"span parent not a number",
+       "{\"schema\":\"nck-trace-v1\",\"spans\":[{\"parent\":\"root\"}]}"},
+      {"modeled not a boolean",
+       "{\"schema\":\"nck-trace-v1\",\"spans\":[{\"modeled\":1}]}"},
+      {"dangling comma in spans",
+       "{\"schema\":\"nck-trace-v1\",\"spans\":[,]}"},
+      {"unterminated string",
+       "{\"schema\":\"nck-trace-v1\",\"counters\":{\"a"},
+      {"unsupported escape",
+       "{\"schema\":\"nck-trace-v1\",\"counters\":{\"\\q\":1}}"},
+      {"counter value not a number",
+       "{\"schema\":\"nck-trace-v1\",\"counters\":{\"a\":\"b\"}}"},
+      {"histograms not an object",
+       "{\"schema\":\"nck-trace-v1\",\"histograms\":[]}"},
+      {"unknown histogram key",
+       "{\"schema\":\"nck-trace-v1\",\"histograms\":{\"h\":{\"median\":1}}}"},
+      {"extra closing brace", "{\"schema\":\"nck-trace-v1\"}}"},
+  };
+  for (const Case& c : cases) {
+    try {
+      obs::trace_from_json(c.doc);
+      FAIL() << c.label << ": corrupt document was accepted";
+    } catch (const std::runtime_error& e) {
+      // Every rejection names the parser and carries a reason.
+      EXPECT_NE(std::string(e.what()).find("trace_from_json"),
+                std::string::npos)
+          << c.label << ": unhelpful error \"" << e.what() << "\"";
+    }
+  }
+}
+
+TEST(TraceJson, ReaderRejectsEveryTruncationOfAValidDocument) {
+  // A valid document cut off at any byte must throw, not crash or return
+  // a half-filled trace.
+  const std::string good = obs::trace_to_json(sample_trace());
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    EXPECT_THROW(obs::trace_from_json(good.substr(0, len)),
+                 std::runtime_error)
+        << "prefix of length " << len << " was accepted";
+  }
+  EXPECT_NO_THROW(obs::trace_from_json(good));
+}
+
 TEST(TraceJson, PrintTraceRendersTables) {
   std::ostringstream os;
   obs::print_trace(os, sample_trace());
@@ -227,7 +297,7 @@ TEST(SolveTrace, AnnealerSolveRecordsStagesAndRoundTrips) {
   solver.annealer_options().sampler.num_reads = 30;
   const VertexCoverProblem p{path_graph(4)};
   const SolveReport report = solver.solve(p.encode(), BackendKind::kAnnealer);
-  ASSERT_TRUE(report.ran) << report.failure;
+  ASSERT_TRUE(report.ran) << report.failure_message();
 
   // Per-stage spans of the anneal pipeline.
   ASSERT_FALSE(report.trace.empty());
@@ -262,7 +332,7 @@ TEST(SolveTrace, FailedSolveStillCarriesATrace) {
   Solver solver(42);
   const SolveReport report = solver.solve(env, BackendKind::kClassical);
   EXPECT_FALSE(report.ran);
-  EXPECT_FALSE(report.failure.empty());
+  EXPECT_FALSE(report.failure_message().empty());
   // Static analysis rejects the program, so only the early stages ran —
   // but the report still carries their spans.
   EXPECT_NE(report.trace.find_span("solve"), nullptr);

@@ -74,7 +74,8 @@ TEST(SolverFacade, InfeasibleProgramReported) {
   Solver solver(42);
   const SolveReport report = solver.solve(env, BackendKind::kClassical);
   EXPECT_FALSE(report.ran);
-  EXPECT_FALSE(report.failure.empty());
+  EXPECT_EQ(report.failure, FailureKind::kInfeasible);
+  EXPECT_FALSE(report.failure_message().empty());
 }
 
 TEST(SolverFacade, AnnealerBackendRunsSmallProblem) {
@@ -82,7 +83,7 @@ TEST(SolverFacade, AnnealerBackendRunsSmallProblem) {
   solver.annealer_options().sampler.num_reads = 40;
   const MaxCutProblem p{cycle_graph(5)};
   const SolveReport report = solver.solve(p.encode(), BackendKind::kAnnealer);
-  ASSERT_TRUE(report.ran) << report.failure;
+  ASSERT_TRUE(report.ran) << report.failure_message();
   EXPECT_GE(report.qubits_used, 5u);
   EXPECT_EQ(report.num_samples, 40u);
   // D-Wave success criterion: some read should reach the max cut of 4.
@@ -97,7 +98,7 @@ TEST(SolverFacade, CircuitBackendRunsSmallProblem) {
   solver.circuit_options().qaoa.shots = 800;
   const MaxCutProblem p{cycle_graph(4)};
   const SolveReport report = solver.solve(p.encode(), BackendKind::kCircuit);
-  ASSERT_TRUE(report.ran) << report.failure;
+  ASSERT_TRUE(report.ran) << report.failure_message();
   EXPECT_EQ(report.qubits_used, 4u);
   EXPECT_GT(report.circuit_depth, 0u);
   EXPECT_GT(report.backend_seconds, 100.0);  // ~500 s of modeled server time
@@ -105,15 +106,16 @@ TEST(SolverFacade, CircuitBackendRunsSmallProblem) {
 
 TEST(SolverFacade, ZeroReadsFailsSoftNotUndefined) {
   // Regression: num_reads == 0 produced an empty sample vector and the
-  // solver indexed samples[best_idx] anyway (undefined behavior). It must
-  // now report a failure instead of running.
+  // solver indexed samples[best_idx] anyway (undefined behavior). Entry
+  // validation now rejects it before any backend work.
   Solver solver(42);
   solver.annealer_options().sampler.num_reads = 0;
   const MaxCutProblem p{cycle_graph(4)};
   const SolveReport report = solver.solve(p.encode(), BackendKind::kAnnealer);
   EXPECT_FALSE(report.ran);
-  EXPECT_NE(report.failure.find("no samples"), std::string::npos)
-      << report.failure;
+  EXPECT_EQ(report.failure, FailureKind::kBadOptions);
+  EXPECT_NE(report.failure_message().find("num_reads"), std::string::npos)
+      << report.failure_message();
   EXPECT_TRUE(report.best_assignment.empty());
 }
 
@@ -125,8 +127,9 @@ TEST(SolverFacade, ZeroShotsFailsSoftNotUndefined) {
   const MaxCutProblem p{cycle_graph(4)};
   const SolveReport report = solver.solve(p.encode(), BackendKind::kCircuit);
   EXPECT_FALSE(report.ran);
-  EXPECT_NE(report.failure.find("no samples"), std::string::npos)
-      << report.failure;
+  EXPECT_EQ(report.failure, FailureKind::kBadOptions);
+  EXPECT_NE(report.failure_message().find("shots"), std::string::npos)
+      << report.failure_message();
   EXPECT_TRUE(report.best_assignment.empty());
 }
 
@@ -140,7 +143,8 @@ TEST(SolverFacade, SameProgramAcrossAllThreeBackends) {
   for (BackendKind backend : {BackendKind::kClassical, BackendKind::kAnnealer,
                               BackendKind::kCircuit}) {
     const SolveReport report = solver.solve(env, backend);
-    ASSERT_TRUE(report.ran) << backend_name(backend) << ": " << report.failure;
+    ASSERT_TRUE(report.ran) << backend_name(backend) << ": "
+                            << report.failure_message();
     EXPECT_TRUE(p.verify(report.best_assignment))
         << backend_name(backend) << " returned a non-cover";
   }
