@@ -6,6 +6,8 @@
 //           [--reads=N] [--shots=N] [--trace[=table|json]]
 //           [--faults=SPEC] [--fault-seed=N] [--max-retries=N]
 //           [--deadline-ms=X] [--fallback=b1,b2,...] <program-file|->
+//   nck_cli solve --batch [--backend=...|portfolio] [--threads=N]
+//           <program-file>...
 //   nck_cli lint [--json] [--target=program|annealer|circuit|all]
 //           <program-file|->
 //
@@ -28,6 +30,13 @@
 // counters, chain-break metrics) as aligned tables; `--trace=json` emits
 // the nck-trace-v1 JSON document instead.
 //
+// `--batch` solves every listed program concurrently on a SolverPool
+// (`--threads=N`, default: hardware concurrency) sharing one plan cache;
+// results are printed in input order and are independent of the thread
+// count. `--backend=portfolio` races classical, annealer, and circuit per
+// program and keeps the best-classified result. In batch mode `--trace`
+// prints the stitched batch trace (one `taskN` root per program).
+//
 // Example program:
 //   # minimum vertex cover of a triangle
 //   nck({a, b}, {1, 2}) /\ nck({a, c}, {1, 2}) /\ nck({b, c}, {1, 2})
@@ -37,11 +46,14 @@
 #include <fstream>
 #include <iostream>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "analysis/analyzer.hpp"
 #include "circuit/coupling.hpp"
 #include "core/parse.hpp"
 #include "obs/json.hpp"
+#include "runtime/pool.hpp"
 #include "runtime/solver.hpp"
 
 using namespace nck;
@@ -54,6 +66,8 @@ int usage() {
                "[--seed=N] [--reads=N] [--shots=N] [--trace[=table|json]] "
                "[--faults=SPEC] [--fault-seed=N] [--max-retries=N] "
                "[--deadline-ms=X] [--fallback=b1,b2,...] <program-file|->\n"
+               "       nck_cli solve --batch [--backend=...|portfolio] "
+               "[--threads=N] <program-file>...\n"
                "       nck_cli lint [--json] "
                "[--target=program|annealer|circuit|all] <program-file|->\n");
   return 2;
@@ -153,14 +167,25 @@ int main(int argc, char** argv) {
   enum class TraceMode { kOff, kTable, kJson };
   TraceMode trace_mode = TraceMode::kOff;
   ResilienceOptions resilience;
-  const char* path = nullptr;
+  bool batch = false;
+  bool portfolio = false;
+  std::size_t threads = 0;  // 0 = hardware concurrency
+  std::vector<const char*> paths;
 
   // "solve" is an optional subcommand name (symmetry with "lint").
   const int first_arg = argc >= 2 && std::strcmp(argv[1], "solve") == 0 ? 2 : 1;
   for (int i = first_arg; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--backend=", 0) == 0) {
-      if (!parse_backend(arg.substr(10), &backend)) return usage();
+      if (arg.substr(10) == "portfolio") {
+        portfolio = true;
+      } else if (!parse_backend(arg.substr(10), &backend)) {
+        return usage();
+      }
+    } else if (arg == "--batch") {
+      batch = true;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = std::stoull(arg.substr(10));
     } else if (arg.rfind("--seed=", 0) == 0) {
       seed = std::stoull(arg.substr(7));
     } else if (arg.rfind("--reads=", 0) == 0) {
@@ -202,16 +227,71 @@ int main(int argc, char** argv) {
         if (comma == std::string::npos) break;
         start = comma + 1;
       }
-    } else if (!path) {
-      path = argv[i];
     } else {
-      return usage();
+      paths.push_back(argv[i]);
     }
   }
-  if (!path) return usage();
+  if (portfolio) batch = true;  // a portfolio race always runs on the pool
+  if (paths.empty()) return usage();
+  if (!batch && paths.size() > 1) return usage();
+
+  if (batch) {
+    std::vector<Env> envs(paths.size());
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      if (!read_program(paths[i], envs[i])) return 1;
+    }
+
+    PoolOptions options;
+    options.num_threads = threads;
+    options.seed = seed;
+    options.annealer.sampler.num_reads = reads;
+    options.circuit.qaoa.shots = shots;
+    if (resilience.active()) options.resilience = resilience;
+    SolverPool pool(options);
+    std::printf("batch: %zu program(s), backend=%s\n", envs.size(),
+                portfolio ? "portfolio" : backend_name(backend));
+    const BatchReport report = portfolio ? pool.solve_portfolio(envs)
+                                         : pool.solve_all(envs, backend);
+
+    for (std::size_t i = 0; i < envs.size(); ++i) {
+      const SolveReport& r = report.reports[i];
+      if (!r.ran) {
+        std::printf("task%zu %-24s did not run [%s]: %s\n", i, paths[i],
+                    failure_kind_name(r.failure), r.failure_message().c_str());
+        continue;
+      }
+      std::printf("task%zu %-24s %-9s %-10s", i, paths[i],
+                  backend_name(r.backend), quality_name(r.best_quality));
+      if (r.num_samples > 1) {
+        std::printf("  %zu/%zu samples optimal", r.counts.optimal,
+                    r.counts.total());
+      }
+      std::printf("\n");
+      if (portfolio) {
+        for (const SolveReport& c : report.candidates[i]) {
+          std::printf("    %-9s %s\n", backend_name(c.backend),
+                      c.ran ? quality_name(c.best_quality)
+                            : failure_kind_name(c.failure));
+        }
+      }
+    }
+    std::printf("plan cache: %zu hits, %zu misses, %zu evictions, "
+                "%zu bytes in %zu entries\n",
+                report.cache.hits, report.cache.misses,
+                report.cache.evictions, report.cache.bytes,
+                report.cache.entries);
+
+    if (trace_mode == TraceMode::kTable) {
+      std::printf("\ntrace:\n");
+      obs::print_trace(std::cout, report.trace);
+    } else if (trace_mode == TraceMode::kJson) {
+      std::cout << obs::trace_to_json(report.trace) << "\n";
+    }
+    return report.solved() == envs.size() ? 0 : 1;
+  }
 
   Env env;
-  if (!read_program(path, env)) return 1;
+  if (!read_program(paths.front(), env)) return 1;
 
   std::printf("program: %zu variables, %zu hard + %zu soft constraints "
               "(%zu non-symmetric classes)\n",

@@ -1,0 +1,45 @@
+// backend::Backend adapter over the annealing pipeline. The adapter does
+// not own its configuration: it points at the caller's
+// AnnealBackendOptions and base Device (so options edited through
+// Solver::annealer_options() take effect on the next solve), and builds
+// plans via prepare_annealer / executes them via execute_annealer.
+//
+// The plan key covers the program, the (possibly degraded) device
+// topology, and the prepare-relevant options: compile margin, embedding
+// knobs, chain strength, presolve. Sampler options (reads, sweeps, ICE
+// noise, timing model) are execute-only and deliberately excluded, so
+// degraded retries and re-tuned noise levels still hit the cache.
+#pragma once
+
+#include "anneal/backend.hpp"
+#include "backend/backend.hpp"
+
+namespace nck::backend {
+
+class AnnealAdapter final : public Backend {
+ public:
+  /// Both pointees must outlive the adapter and stay externally owned.
+  AnnealAdapter(const AnnealBackendOptions* options, const Device* device)
+      : options_(options), device_(device) {}
+
+  BackendKind kind() const noexcept override { return BackendKind::kAnnealer; }
+  const char* name() const noexcept override { return "anneal"; }
+  bool validate(std::string* why) const override;
+  AnalysisTarget analysis_target() const noexcept override;
+  Fingerprint plan_key(const PrepareContext& ctx) const override;
+  PrepareOutcome prepare(const PrepareContext& ctx) const override;
+  ExecutionResult execute(const Plan& plan, ExecuteContext& ctx) const override;
+  Budget initial_budget(const SampleFloors& floors) const noexcept override;
+  double estimate_attempt_ms(const Budget& budget) const noexcept override;
+  bool degrade(Budget& budget) const noexcept override;
+
+ private:
+  const Device& device_for(const PrepareContext& ctx) const noexcept {
+    return ctx.device != nullptr ? *ctx.device : *device_;
+  }
+
+  const AnnealBackendOptions* options_;
+  const Device* device_;
+};
+
+}  // namespace nck::backend

@@ -6,11 +6,13 @@
 
 #include <optional>
 
+#include "anneal/embedded_ising.hpp"
 #include "anneal/embedding.hpp"
 #include "anneal/sampler.hpp"
 #include "anneal/topology.hpp"
 #include "core/compile.hpp"
 #include "core/env.hpp"
+#include "qubo/presolve.hpp"
 #include "resilience/fault.hpp"
 #include "synth/engine.hpp"
 
@@ -52,7 +54,53 @@ struct AnnealOutcome {
   std::vector<std::size_t> dead_qubits;
 };
 
-/// Runs the program on the (simulated) annealing device. Uses and warms the
+/// The annealer's prepare artifact: everything client-side and
+/// deterministic — compiled QUBO, presolve pinning, logical Ising,
+/// minor embedding, and the embedded physical program. Immutable once
+/// built; execute_annealer() runs any number of sampling sessions
+/// against it (the backend::Plan the plan cache stores).
+struct AnnealPrepared {
+  Env env;  // structural copy used to evaluate unembedded samples
+  CompiledQubo compiled;
+  bool use_presolve = false;
+  PresolveResult pres;
+  std::vector<std::size_t> free_vars;  // sampled index -> full QUBO index
+  std::size_t num_sampled_vars = 0;    // 0 = presolve pinned everything
+  IsingModel logical;                  // over the sampled (compacted) vars
+  /// False when no minor embedding was found (the only prepare failure);
+  /// the remaining fields below it are then unset.
+  bool embedded = false;
+  Embedding embedding;
+  EmbeddedProblem problem;  // chain strength already applied
+  std::size_t qubits_used = 0;
+  std::size_t max_chain_length = 0;
+  double compile_ms = 0.0;  // client time of the original prepare
+  double embed_ms = 0.0;
+
+  /// Approximate heap footprint, for the plan cache's byte budget.
+  std::size_t bytes() const noexcept;
+};
+
+/// Client-side half: compile -> presolve -> embed -> embedded Ising.
+/// Deterministic given (env, device, options, rng state); consumes no
+/// faults. When the QUBO is empty after presolve, `embedded` is true
+/// with no embedding (the answer is pinned). When `trace` is non-null,
+/// records the compile / presolve / embed stage spans.
+AnnealPrepared prepare_annealer(const Env& env, const Device& device,
+                                SynthEngine& engine, Rng& rng,
+                                const AnnealBackendOptions& options = {},
+                                obs::Trace* trace = nullptr);
+
+/// Device-side half: submit-fault gate, dead-qubit event, calibration
+/// drift, noisy sampling, unembedding, evaluation. Touches `rng` only
+/// after the fault gates pass, so a rejected submission leaves the
+/// caller's sample stream untouched. Requires prepared.embedded.
+AnnealOutcome execute_annealer(const AnnealPrepared& prepared, Rng& rng,
+                               const AnnealBackendOptions& options = {},
+                               obs::Trace* trace = nullptr);
+
+/// Runs the program on the (simulated) annealing device: prepare_annealer
+/// followed by execute_annealer on the same rng. Uses and warms the
 /// provided synthesis engine; pass a fresh one for isolated runs. When
 /// `trace` is non-null, the compile / presolve / embed / sample stages and
 /// their metrics (chain-length histogram, chain-break counters, modeled

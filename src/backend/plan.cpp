@@ -1,0 +1,7 @@
+#include "backend/plan.hpp"
+
+// Plan is an interface with a defaulted virtual destructor; this TU
+// exists so the library has a home object for its vtable-adjacent
+// diagnostics and future non-inline members.
+
+namespace nck::backend {}  // namespace nck::backend

@@ -1,0 +1,25 @@
+// A Plan is the expensive output of Backend::prepare() — everything a
+// backend computes before it touches (modeled) hardware: the compiled
+// QUBO, presolve artifacts, a minor embedding, a transpiled circuit.
+// Plans are immutable once built, shared by pointer, and content-addressed
+// by the Fingerprint of their inputs, so repeat solves of the same program
+// (parameter scans, fallback re-runs, batch duplicates) skip straight to
+// execute().
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+namespace nck::backend {
+
+class Plan {
+ public:
+  virtual ~Plan() = default;
+
+  /// Approximate heap footprint, charged against the cache's byte budget.
+  virtual std::size_t bytes() const noexcept = 0;
+};
+
+using PlanPtr = std::shared_ptr<const Plan>;
+
+}  // namespace nck::backend

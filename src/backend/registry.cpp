@@ -1,0 +1,23 @@
+#include "backend/registry.hpp"
+
+namespace nck::backend {
+
+void Registry::add(std::unique_ptr<Backend> backend) {
+  if (!backend) return;
+  for (auto& existing : backends_) {
+    if (existing->kind() == backend->kind()) {
+      existing = std::move(backend);
+      return;
+    }
+  }
+  backends_.push_back(std::move(backend));
+}
+
+const Backend* Registry::find(BackendKind kind) const noexcept {
+  for (const auto& backend : backends_) {
+    if (backend->kind() == kind) return backend.get();
+  }
+  return nullptr;
+}
+
+}  // namespace nck::backend

@@ -1,0 +1,39 @@
+// backend::Backend adapter over the QAOA circuit pipeline. Points at the
+// caller's CircuitBackendOptions and coupling map (externally owned, so
+// Solver::circuit_options() edits take effect on the next solve).
+//
+// The plan key covers the program, the coupling graph, the compile
+// margin, and the QAOA depth p (which fixes the transpiled structure).
+// Shots, the optimizer budget, the noise model, the simulation cutoff,
+// and the timing model are execute-only and excluded, so degraded
+// retries and noise sweeps reuse the cached transpilation.
+#pragma once
+
+#include "backend/backend.hpp"
+#include "circuit/backend.hpp"
+
+namespace nck::backend {
+
+class CircuitAdapter final : public Backend {
+ public:
+  /// Both pointees must outlive the adapter and stay externally owned.
+  CircuitAdapter(const CircuitBackendOptions* options, const Graph* coupling)
+      : options_(options), coupling_(coupling) {}
+
+  BackendKind kind() const noexcept override { return BackendKind::kCircuit; }
+  const char* name() const noexcept override { return "circuit"; }
+  bool validate(std::string* why) const override;
+  AnalysisTarget analysis_target() const noexcept override;
+  Fingerprint plan_key(const PrepareContext& ctx) const override;
+  PrepareOutcome prepare(const PrepareContext& ctx) const override;
+  ExecutionResult execute(const Plan& plan, ExecuteContext& ctx) const override;
+  Budget initial_budget(const SampleFloors& floors) const noexcept override;
+  double estimate_attempt_ms(const Budget& budget) const noexcept override;
+  bool degrade(Budget& budget) const noexcept override;
+
+ private:
+  const CircuitBackendOptions* options_;
+  const Graph* coupling_;
+};
+
+}  // namespace nck::backend

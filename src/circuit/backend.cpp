@@ -7,24 +7,58 @@
 
 namespace nck {
 
-CircuitOutcome run_circuit_backend(const Env& env, const Graph& coupling,
-                                   SynthEngine& engine, Rng& rng,
-                                   const CircuitBackendOptions& options,
-                                   obs::Trace* trace) {
-  CircuitOutcome outcome;
+std::size_t CircuitPrepared::bytes() const noexcept {
+  std::size_t total = sizeof(CircuitPrepared);
+  total += compiled.qubo.num_variables() * sizeof(double);
+  total += compiled.qubo.num_quadratic_terms() * 3 * sizeof(double);
+  total += qaoa.ising.h.capacity() * sizeof(double);
+  total += qaoa.ising.j.capacity() *
+           sizeof(std::tuple<Qubo::Var, Qubo::Var, double>);
+  for (const Constraint& c : env.constraints()) {
+    total += c.collection().capacity() * sizeof(VarId);
+    total += c.distinct_vars().capacity() * sizeof(VarId);
+  }
+  return total;
+}
+
+CircuitPrepared prepare_circuit_backend(const Env& env, const Graph& coupling,
+                                        SynthEngine& engine,
+                                        const CircuitBackendOptions& options,
+                                        obs::Trace* trace) {
+  CircuitPrepared prepared;
+  prepared.env = env;
 
   Timer compile_timer;
-  const CompiledQubo compiled = compile(env, engine, options.compile, trace);
-  outcome.client_compile_ms = compile_timer.milliseconds();
-  outcome.qubits_used = compiled.num_qubo_vars();
+  prepared.compiled = compile(env, engine, options.compile, trace);
+  prepared.compile_ms = compile_timer.milliseconds();
 
-  if (compiled.num_qubo_vars() > coupling.num_vertices()) {
-    return outcome;  // fits == false: more variables than physical qubits
+  if (prepared.compiled.num_qubo_vars() > coupling.num_vertices()) {
+    return prepared;  // fits == false: more variables than physical qubits
   }
+  try {
+    prepared.qaoa =
+        prepare_qaoa(prepared.compiled.qubo, coupling, options.qaoa, trace);
+  } catch (const std::invalid_argument&) {
+    return prepared;  // device region too small after layout
+  }
+  prepared.fits = true;
+  return prepared;
+}
+
+CircuitOutcome execute_circuit_backend(const CircuitPrepared& prepared,
+                                       Rng& rng,
+                                       const CircuitBackendOptions& options,
+                                       obs::Trace* trace) {
+  CircuitOutcome outcome;
+  outcome.client_compile_ms = prepared.compile_ms;
+  outcome.qubits_used = prepared.compiled.num_qubo_vars();
+
+  if (!prepared.fits) return outcome;  // fits == false
 
   if (options.faults) {
     // Session faults surface at submission / first execution, before any
-    // server time is spent (the job never leaves the queue).
+    // server time is spent (the job never leaves the queue). Note: `rng`
+    // is untouched until both gates pass.
     if (const auto fault = options.faults->submit_fault()) {
       outcome.fault = fault;
       obs::count(trace, std::string("resilience.fault.") + fault_name(*fault));
@@ -37,12 +71,9 @@ CircuitOutcome run_circuit_backend(const Env& env, const Graph& coupling,
     }
   }
 
-  QaoaResult qaoa;
-  try {
-    qaoa = run_qaoa(compiled.qubo, coupling, options.qaoa, rng, trace);
-  } catch (const std::invalid_argument&) {
-    return outcome;  // device region too small after layout
-  }
+  const QaoaResult qaoa = run_qaoa_prepared(prepared.compiled.qubo,
+                                            prepared.qaoa, options.qaoa, rng,
+                                            trace);
   outcome.fits = true;
   outcome.qubits_touched = qaoa.qubits_touched;
   outcome.depth = qaoa.depth;
@@ -63,8 +94,8 @@ CircuitOutcome run_circuit_backend(const Env& env, const Graph& coupling,
     std::vector<bool> program_vars(
         qaoa.samples[idx].begin(),
         qaoa.samples[idx].begin() +
-            static_cast<std::ptrdiff_t>(compiled.num_problem_vars));
-    outcome.evaluations.push_back(env.evaluate(program_vars));
+            static_cast<std::ptrdiff_t>(prepared.compiled.num_problem_vars));
+    outcome.evaluations.push_back(prepared.env.evaluate(program_vars));
     outcome.samples.push_back(std::move(program_vars));
   }
 
@@ -86,6 +117,15 @@ CircuitOutcome run_circuit_backend(const Env& env, const Graph& coupling,
     trace->record_modeled("device.jobs", job_total * 1e6);
   }
   return outcome;
+}
+
+CircuitOutcome run_circuit_backend(const Env& env, const Graph& coupling,
+                                   SynthEngine& engine, Rng& rng,
+                                   const CircuitBackendOptions& options,
+                                   obs::Trace* trace) {
+  const CircuitPrepared prepared =
+      prepare_circuit_backend(env, coupling, engine, options, trace);
+  return execute_circuit_backend(prepared, rng, options, trace);
 }
 
 }  // namespace nck

@@ -55,8 +55,44 @@ struct CircuitOutcome {
   std::optional<FaultKind> fault;
 };
 
-/// When `trace` is non-null, records compile / transpile / QAOA stage
-/// spans and metrics, plus the modeled IBM job times.
+/// The circuit backend's prepare artifact: compiled QUBO plus the
+/// deterministic transpile-probe results. Immutable once built (the
+/// backend::Plan the plan cache stores); execute_circuit_backend() runs
+/// any number of noisy QAOA sessions against it.
+struct CircuitPrepared {
+  Env env;  // structural copy used to evaluate samples
+  CompiledQubo compiled;
+  /// False when the problem has more QUBO variables than physical qubits
+  /// (or SWAP routing could not place it); the qaoa field is then unset.
+  bool fits = false;
+  QaoaPrepared qaoa;
+  double compile_ms = 0.0;  // client time of the original prepare
+
+  /// Approximate heap footprint, for the plan cache's byte budget.
+  std::size_t bytes() const noexcept;
+};
+
+/// Client-side half: compile -> fit check -> transpile probe.
+/// Deterministic; consumes no randomness and no faults. When `trace` is
+/// non-null, records the compile / transpile stage spans.
+CircuitPrepared prepare_circuit_backend(const Env& env, const Graph& coupling,
+                                        SynthEngine& engine,
+                                        const CircuitBackendOptions& options = {},
+                                        obs::Trace* trace = nullptr);
+
+/// Device-side half: submission/execution fault gates, the QAOA optimizer
+/// loop and final sampling job, energy ordering, and the IBM timing
+/// model. Touches `rng` only after the fault gates pass. Requires
+/// prepared.fits.
+CircuitOutcome execute_circuit_backend(const CircuitPrepared& prepared,
+                                       Rng& rng,
+                                       const CircuitBackendOptions& options = {},
+                                       obs::Trace* trace = nullptr);
+
+/// Full pipeline: prepare_circuit_backend followed by
+/// execute_circuit_backend on the same rng. When `trace` is non-null,
+/// records compile / transpile / QAOA stage spans and metrics, plus the
+/// modeled IBM job times.
 CircuitOutcome run_circuit_backend(const Env& env, const Graph& coupling,
                                    SynthEngine& engine, Rng& rng,
                                    const CircuitBackendOptions& options = {},

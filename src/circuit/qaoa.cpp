@@ -65,31 +65,44 @@ void apply_noise(std::vector<std::vector<bool>>& shots, double fidelity,
 
 }  // namespace
 
-QaoaResult run_qaoa(const Qubo& qubo, const Graph& coupling,
-                    const QaoaOptions& options, Rng& rng, obs::Trace* trace) {
-  QaoaResult result;
-  const std::size_t n = qubo.num_variables();
-  result.qubits = n;
-  const IsingModel ising = qubo_to_ising(qubo);
+QaoaPrepared prepare_qaoa(const Qubo& qubo, const Graph& coupling,
+                          const QaoaOptions& options, obs::Trace* trace) {
+  QaoaPrepared prepared;
+  prepared.qubits = qubo.num_variables();
+  prepared.ising = qubo_to_ising(qubo);
 
   // Transpiled metrics come from a representative (parameter-independent)
   // circuit: all QAOA iterations share gate structure, only angles differ
   // (the paper makes the same observation for its depth measurements).
   obs::Span transpile_span(trace, "transpile");
   const std::vector<double> probe(static_cast<std::size_t>(2 * options.p), 0.5);
-  const Circuit logical = build_qaoa_circuit(ising, probe);
+  const Circuit logical = build_qaoa_circuit(prepared.ising, probe);
   const auto transpiled = transpile(logical, coupling);
   transpile_span.close();
   if (!transpiled) {
     throw std::invalid_argument("run_qaoa: circuit does not fit the device");
   }
-  result.depth = transpiled->depth;
-  result.cx_count = transpiled->cx_count;
-  result.swap_count = transpiled->swap_count;
-  result.qubits_touched = transpiled->qubits_touched;
-  const std::size_t n_1q =
-      transpiled->physical.num_gates() - transpiled->physical.num_two_qubit_gates();
-  result.fidelity = options.noise.fidelity(n_1q, result.cx_count);
+  prepared.depth = transpiled->depth;
+  prepared.cx_count = transpiled->cx_count;
+  prepared.swap_count = transpiled->swap_count;
+  prepared.qubits_touched = transpiled->qubits_touched;
+  prepared.n_1q = transpiled->physical.num_gates() -
+                  transpiled->physical.num_two_qubit_gates();
+  return prepared;
+}
+
+QaoaResult run_qaoa_prepared(const Qubo& qubo, const QaoaPrepared& prepared,
+                             const QaoaOptions& options, Rng& rng,
+                             obs::Trace* trace) {
+  QaoaResult result;
+  const std::size_t n = prepared.qubits;
+  result.qubits = n;
+  const IsingModel& ising = prepared.ising;
+  result.depth = prepared.depth;
+  result.cx_count = prepared.cx_count;
+  result.swap_count = prepared.swap_count;
+  result.qubits_touched = prepared.qubits_touched;
+  result.fidelity = options.noise.fidelity(prepared.n_1q, result.cx_count);
   if (trace) {
     obs::Registry& reg = trace->registry();
     reg.set("transpile.depth", static_cast<double>(result.depth));
@@ -163,6 +176,12 @@ QaoaResult run_qaoa(const Qubo& qubo, const Graph& coupling,
   }
   result.best_energy = best;
   return result;
+}
+
+QaoaResult run_qaoa(const Qubo& qubo, const Graph& coupling,
+                    const QaoaOptions& options, Rng& rng, obs::Trace* trace) {
+  const QaoaPrepared prepared = prepare_qaoa(qubo, coupling, options, trace);
+  return run_qaoa_prepared(qubo, prepared, options, rng, trace);
 }
 
 }  // namespace nck

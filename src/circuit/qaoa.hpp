@@ -69,11 +69,40 @@ struct QaoaResult {
 Circuit build_qaoa_circuit(const IsingModel& ising,
                            const std::vector<double>& params);
 
-/// Runs the full QAOA pipeline against the given coupling map.
+/// The deterministic, parameter-independent half of a QAOA run: the Ising
+/// model plus the transpile-probe metrics (all QAOA iterations share gate
+/// structure, only angles differ). This is the expensive, cacheable part;
+/// run_qaoa_prepared() executes any number of noisy runs against it.
+struct QaoaPrepared {
+  IsingModel ising;
+  std::size_t qubits = 0;          // QUBO variables == logical qubits
+  std::size_t qubits_touched = 0;  // physical qubits used after routing
+  std::size_t depth = 0;
+  std::size_t cx_count = 0;
+  std::size_t swap_count = 0;
+  std::size_t n_1q = 0;  // 1-qubit gate count, for the fidelity model
+};
+
+/// Transpiles the probe circuit and captures its metrics. Deterministic;
+/// depends only on the QUBO structure, the coupling map, and options.p.
 /// Throws std::invalid_argument if the device is smaller than the problem.
-/// When `trace` is non-null, records transpile / optimize / sample spans,
-/// transpiled-circuit gauges (depth, CX, SWAP), the fidelity, and
-/// statevector-run counters.
+/// When `trace` is non-null, records the transpile span.
+QaoaPrepared prepare_qaoa(const Qubo& qubo, const Graph& coupling,
+                          const QaoaOptions& options,
+                          obs::Trace* trace = nullptr);
+
+/// The stochastic half: optimizer loop + final sampling job under the
+/// noise model (fidelity is derived here from the prepared gate counts,
+/// so noise-model changes never invalidate a cached preparation).
+/// When `trace` is non-null, records optimize / sample spans, the
+/// transpiled-circuit gauges, the fidelity, and statevector-run counters.
+QaoaResult run_qaoa_prepared(const Qubo& qubo, const QaoaPrepared& prepared,
+                             const QaoaOptions& options, Rng& rng,
+                             obs::Trace* trace = nullptr);
+
+/// Runs the full QAOA pipeline against the given coupling map:
+/// prepare_qaoa followed by run_qaoa_prepared.
+/// Throws std::invalid_argument if the device is smaller than the problem.
 QaoaResult run_qaoa(const Qubo& qubo, const Graph& coupling,
                     const QaoaOptions& options, Rng& rng,
                     obs::Trace* trace = nullptr);

@@ -88,4 +88,38 @@ TraceData Trace::snapshot() const {
   return out;
 }
 
+void merge_trace(TraceData& out, const TraceData& task,
+                 const std::string& root) {
+  SpanRecord root_span;
+  root_span.name = root;
+  for (const SpanRecord& s : task.spans) {
+    const double end_us = s.start_us + s.duration_us;
+    if (end_us > root_span.duration_us) root_span.duration_us = end_us;
+  }
+  const std::size_t root_index = out.spans.size();
+  out.spans.push_back(std::move(root_span));
+
+  const std::size_t offset = out.spans.size();
+  for (const SpanRecord& s : task.spans) {
+    SpanRecord copy = s;
+    copy.parent = s.parent == kNoParent ? root_index : offset + s.parent;
+    copy.depth = s.depth + 1;
+    out.spans.push_back(std::move(copy));
+  }
+
+  for (const auto& [name, value] : task.counters) out.counters[name] += value;
+  for (const auto& [name, value] : task.gauges) out.gauges[name] = value;
+  for (const auto& [name, hist] : task.histograms) {
+    HistogramData& dst = out.histograms[name];
+    if (dst.count == 0) {
+      dst = hist;
+    } else if (hist.count > 0) {
+      if (hist.min < dst.min) dst.min = hist.min;
+      if (hist.max > dst.max) dst.max = hist.max;
+      dst.sum += hist.sum;
+      dst.count += hist.count;
+    }
+  }
+}
+
 }  // namespace nck::obs

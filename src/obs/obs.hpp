@@ -165,6 +165,14 @@ class Span {
   std::size_t index_ = 0;
 };
 
+///// Stitches one task's trace into a batch trace: appends a synthetic root
+/// span named `root` (duration = the task's last span end) and re-parents
+/// the task's spans under it at depth + 1, preserving pre-order. Counters
+/// are summed, histograms merged, gauges last-write-wins — so a stitched
+/// batch trace aggregates "plan_cache.hit" style counters across tasks
+/// while keeping each task's span tree inspectable.
+void merge_trace(TraceData& out, const TraceData& task, const std::string& root);
+
 /// Convenience: adds to `trace->registry()` when trace is non-null.
 inline void count(Trace* trace, const std::string& name, double delta = 1.0) {
   if (trace) trace->registry().add(name, delta);

@@ -169,10 +169,16 @@ std::string Qubo::to_string() const {
   };
   emit(offset_, "");
   for (std::size_t i = 0; i < linear_.size(); ++i) {
-    emit(linear_[i], "x" + std::to_string(i));
+    std::string mono = "x";
+    mono += std::to_string(i);
+    emit(linear_[i], mono);
   }
   for (const auto& [i, j, c] : quadratic_terms()) {
-    emit(c, "x" + std::to_string(i) + "*x" + std::to_string(j));
+    std::string mono = "x";
+    mono += std::to_string(i);
+    mono += "*x";
+    mono += std::to_string(j);
+    emit(c, mono);
   }
   if (first) os << "0";
   return os.str();

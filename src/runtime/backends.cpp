@@ -1,0 +1,23 @@
+#include "runtime/backends.hpp"
+
+#include <memory>
+
+#include "anneal/adapter.hpp"
+#include "circuit/adapter.hpp"
+#include "classical/adapter.hpp"
+
+namespace nck {
+
+void register_builtin_backends(backend::Registry& registry,
+                               const AnnealBackendOptions* anneal_options,
+                               const Device* device,
+                               const CircuitBackendOptions* circuit_options,
+                               const Graph* coupling) {
+  registry.add(std::make_unique<backend::ClassicalAdapter>());
+  registry.add(
+      std::make_unique<backend::AnnealAdapter>(anneal_options, device));
+  registry.add(
+      std::make_unique<backend::CircuitAdapter>(circuit_options, coupling));
+}
+
+}  // namespace nck

@@ -1,0 +1,24 @@
+// Builtin backend registration: wires the classical, annealer, and
+// circuit adapters into a backend::Registry. Solver calls this from its
+// constructor; tests call it to build registries against custom option
+// blocks or devices.
+#pragma once
+
+#include "anneal/backend.hpp"
+#include "anneal/topology.hpp"
+#include "backend/registry.hpp"
+#include "circuit/backend.hpp"
+#include "graph/graph.hpp"
+
+namespace nck {
+
+/// Registers the three builtin adapters. All pointees are borrowed: they
+/// must outlive the registry, and edits to the option blocks take effect
+/// on the next solve.
+void register_builtin_backends(backend::Registry& registry,
+                               const AnnealBackendOptions* anneal_options,
+                               const Device* device,
+                               const CircuitBackendOptions* circuit_options,
+                               const Graph* coupling);
+
+}  // namespace nck

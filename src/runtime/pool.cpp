@@ -1,0 +1,139 @@
+#include "runtime/pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace nck {
+namespace {
+
+/// Schedule-independent per-(task, candidate) stream seed: a splitmix64
+/// finalizer over the base seed and both indices, so the stream a task
+/// samples from does not depend on which worker claims it or how many
+/// workers exist.
+std::uint64_t task_seed(std::uint64_t base, std::size_t task,
+                        std::size_t candidate) {
+  std::uint64_t z = base ^ (0x9E3779B97F4A7C15ull * (task + 1)) ^
+                    (0xBF58476D1CE4E5B9ull * (candidate + 1));
+  z ^= z >> 30;
+  z *= 0xBF58476D1CE4E5B9ull;
+  z ^= z >> 27;
+  z *= 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  return z;
+}
+
+/// Strict "a beats b" for the portfolio: a solve that ran beats one that
+/// failed; among ran solves, better classification wins; ties keep the
+/// earlier candidate (the caller scans left to right).
+bool beats(const SolveReport& a, const SolveReport& b) {
+  if (a.ran != b.ran) return a.ran;
+  if (!a.ran) return false;
+  return static_cast<int>(a.best_quality) < static_cast<int>(b.best_quality);
+}
+
+}  // namespace
+
+SolverPool::SolverPool(PoolOptions options)
+    : options_(std::move(options)),
+      cache_(std::make_shared<backend::PlanCache>(options_.cache_bytes)) {}
+
+BatchReport SolverPool::solve_all(std::span<const Env> envs,
+                                  BackendKind backend) {
+  const BackendKind kinds[] = {backend};
+  return run(envs, kinds, /*portfolio=*/false);
+}
+
+BatchReport SolverPool::solve_portfolio(std::span<const Env> envs) {
+  static constexpr BackendKind kDefaultCandidates[] = {
+      BackendKind::kClassical, BackendKind::kAnnealer, BackendKind::kCircuit};
+  return run(envs, kDefaultCandidates, /*portfolio=*/true);
+}
+
+BatchReport SolverPool::solve_portfolio(std::span<const Env> envs,
+                                        std::span<const BackendKind> candidates) {
+  return run(envs, candidates, /*portfolio=*/true);
+}
+
+BatchReport SolverPool::run(std::span<const Env> envs,
+                            std::span<const BackendKind> candidates,
+                            bool portfolio) {
+  BatchReport batch;
+  batch.reports.resize(envs.size());
+  if (portfolio) batch.candidates.resize(envs.size());
+  if (envs.empty() || candidates.empty()) {
+    batch.cache = cache_->stats();
+    return batch;
+  }
+
+  std::size_t workers = options_.num_threads;
+  if (workers == 0) {
+    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers = std::min(workers, envs.size());
+
+  // Work stealing by atomic ticket; every task writes only its own slots,
+  // and the shared plan cache does its own locking.
+  std::atomic<std::size_t> next{0};
+  const auto work = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= envs.size()) return;
+
+      std::vector<SolveReport> runs;
+      runs.reserve(candidates.size());
+      for (std::size_t c = 0; c < candidates.size(); ++c) {
+        // One base seed for every solver: identical device calibration,
+        // identical plan keys, shared plans. Only the sample stream is
+        // per-(task, candidate).
+        Solver solver(options_.seed);
+        solver.annealer_options() = options_.annealer;
+        solver.circuit_options() = options_.circuit;
+        if (options_.resilience) {
+          solver.resilience_options() = *options_.resilience;
+        }
+        solver.set_plan_cache(cache_);
+        solver.reseed(task_seed(options_.seed, i, c));
+        runs.push_back(solver.solve(envs[i], candidates[c]));
+      }
+
+      std::size_t best = 0;
+      for (std::size_t c = 1; c < runs.size(); ++c) {
+        if (beats(runs[c], runs[best])) best = c;
+      }
+      batch.reports[i] =
+          portfolio ? runs[best] : std::move(runs.front());
+      if (portfolio) batch.candidates[i] = std::move(runs);
+    }
+  };
+
+  if (workers <= 1) {
+    work();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (std::size_t t = 0; t < workers; ++t) threads.emplace_back(work);
+    for (std::thread& t : threads) t.join();
+  }
+
+  // Stitch per-task traces in input order (deterministic regardless of
+  // the completion schedule).
+  for (std::size_t i = 0; i < envs.size(); ++i) {
+    if (portfolio) {
+      for (std::size_t c = 0; c < batch.candidates[i].size(); ++c) {
+        obs::merge_trace(batch.trace, batch.candidates[i][c].trace,
+                         "task" + std::to_string(i) + ":" +
+                             backend_name(candidates[c]));
+      }
+    } else {
+      obs::merge_trace(batch.trace, batch.reports[i].trace,
+                       "task" + std::to_string(i));
+    }
+  }
+  batch.cache = cache_->stats();
+  return batch;
+}
+
+}  // namespace nck

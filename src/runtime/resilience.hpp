@@ -15,41 +15,12 @@
 #include <string>
 #include <vector>
 
+#include "backend/kinds.hpp"  // re-exports FailureKind + helpers
 #include "resilience/fault.hpp"
 #include "resilience/policy.hpp"
 #include "runtime/result.hpp"
 
 namespace nck {
-
-/// Why a solve (or one attempt of it) did not produce samples. Callers
-/// and the retry logic branch on this instead of string-matching;
-/// SolveReport::failure_message() keeps the human-readable story.
-enum class FailureKind {
-  kNone = 0,           // the solve ran
-  kBadOptions,         // rejected at entry: nonsensical backend options
-  kAnalysisRejected,   // static analysis proved the solve cannot succeed
-  kInfeasible,         // hard constraints conflict (ground truth)
-  kNoEmbedding,        // no minor embedding on the working graph
-  kDeviceTooSmall,     // more QUBO variables than physical qubits
-  kNoSamples,          // backend produced an empty sample set
-  kJobRejected,        // injected: scheduler refused the job
-  kQueueTimeout,       // injected: queue wait exceeded the limit
-  kDeadQubits,         // injected: embedded qubits died mid-session
-  kExecutionError,     // injected: transient circuit-execution failure
-  kRetriesExhausted,   // transient failures outlasted the retry budget
-  kDeadlineExhausted,  // the session deadline ran out
-};
-
-/// "dead-qubits", "retries-exhausted", ... — stable identifier.
-const char* failure_kind_name(FailureKind kind) noexcept;
-/// One-sentence display description ("no minor embedding found ...").
-const char* failure_kind_description(FailureKind kind) noexcept;
-/// Transient failures may succeed on a retry of the same backend
-/// (after recovery actions such as re-embedding); permanent ones move
-/// straight to the next fallback rung.
-bool transient_failure(FailureKind kind) noexcept;
-/// The FailureKind an injected fault surfaces as.
-FailureKind failure_from_fault(FaultKind fault) noexcept;
 
 struct ResilienceOptions {
   FaultPlan faults;                     // empty = no injection

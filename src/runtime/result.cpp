@@ -4,15 +4,6 @@
 
 namespace nck {
 
-const char* backend_name(BackendKind kind) noexcept {
-  switch (kind) {
-    case BackendKind::kClassical: return "classical";
-    case BackendKind::kAnnealer: return "annealer";
-    case BackendKind::kCircuit: return "circuit";
-  }
-  return "?";
-}
-
 const char* quality_name(Quality q) noexcept {
   switch (q) {
     case Quality::kOptimal: return "optimal";

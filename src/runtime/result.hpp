@@ -8,16 +8,10 @@
 #include <string>
 #include <vector>
 
+#include "backend/kinds.hpp"  // re-exports BackendKind / backend_name
 #include "core/env.hpp"
 
 namespace nck {
-
-/// The three execution targets of the paper's portability claim. Lives
-/// here (not solver.hpp) so resilience types — fallback chains, attempt
-/// records — can name backends without pulling in the solver facade.
-enum class BackendKind { kClassical, kAnnealer, kCircuit };
-
-const char* backend_name(BackendKind kind) noexcept;
 
 enum class Quality { kOptimal, kSuboptimal, kIncorrect };
 

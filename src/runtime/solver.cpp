@@ -3,10 +3,11 @@
 #include <cmath>
 #include <optional>
 #include <string>
+#include <utility>
 
 #include "anneal/topology.hpp"
 #include "circuit/coupling.hpp"
-#include "classical/exact_solver.hpp"
+#include "runtime/backends.hpp"
 #include "util/timer.hpp"
 
 namespace nck {
@@ -17,52 +18,47 @@ void fail(SolveReport& report, FailureKind kind, std::string detail) {
   report.failure_detail = std::move(detail);
 }
 
-/// Best annealer sample: first optimal, else first suboptimal, else first
-/// (reads are ordered by ascending logical energy).
-void fill_annealer_report(SolveReport& report, const AnnealOutcome& outcome) {
+/// Folds one successful execute() into the report. single_answer backends
+/// (classical witness, circuit lowest-energy sample) report their front
+/// sample; sampling backends report the first optimal sample, else the
+/// first suboptimal, else the first (annealer reads are ordered by
+/// ascending logical energy).
+void fill_report(SolveReport& report, const backend::ExecutionResult& res) {
   report.ran = true;
-  report.qubits_used = outcome.qubits_used;
-  report.num_samples = outcome.samples.size();
-  report.counts = classify_all(outcome.evaluations, report.truth);
-  report.backend_seconds = outcome.timing.total_us * 1e-6;
+  report.qubits_used = res.qubits_used;
+  report.circuit_depth = res.circuit_depth;
+  report.num_samples = res.samples.size();
+  report.counts = classify_all(res.evaluations, report.truth);
+  report.backend_seconds = res.device_seconds;
   std::size_t best_idx = 0;
   Quality best = Quality::kIncorrect;
-  for (std::size_t i = 0; i < outcome.evaluations.size(); ++i) {
-    const Quality q = classify(outcome.evaluations[i], report.truth);
-    if (q == Quality::kOptimal) {
-      best_idx = i;
-      best = q;
-      break;
-    }
-    if (q == Quality::kSuboptimal && best == Quality::kIncorrect) {
-      best_idx = i;
-      best = q;
+  if (res.single_answer) {
+    best = classify(res.evaluations.front(), report.truth);
+  } else {
+    for (std::size_t i = 0; i < res.evaluations.size(); ++i) {
+      const Quality q = classify(res.evaluations[i], report.truth);
+      if (q == Quality::kOptimal) {
+        best_idx = i;
+        best = q;
+        break;
+      }
+      if (q == Quality::kSuboptimal && best == Quality::kIncorrect) {
+        best_idx = i;
+        best = q;
+      }
     }
   }
-  report.best_assignment = outcome.samples[best_idx];
+  report.best_assignment = res.samples[best_idx];
   report.best_quality = best;
 }
 
-void fill_circuit_report(SolveReport& report, const CircuitOutcome& outcome) {
-  report.ran = true;
-  report.qubits_used = outcome.qubits_used;
-  report.circuit_depth = outcome.depth;
-  report.num_samples = outcome.samples.size();
-  report.counts = classify_all(outcome.evaluations, report.truth);
-  report.backend_seconds = outcome.total_seconds;
-  // QAOA reports a single answer: the lowest-energy sample.
-  report.best_assignment = outcome.samples.front();
-  report.best_quality = classify(outcome.evaluations.front(), report.truth);
-}
-
-bool check_finite_nonnegative(double value, const char* what,
-                              std::string* why) {
-  if (std::isnan(value) || value < 0.0 || !std::isfinite(value)) {
-    *why = std::string(what) + " must be finite and >= 0";
-    return false;
-  }
-  return true;
-}
+/// Ground truth is deterministic in the program alone, so it lives in the
+/// content-addressed cache next to the backend plans: a batch of repeated
+/// (or renamed-isomorphic) programs certifies once.
+struct TruthPlan final : backend::Plan {
+  GroundTruth truth;
+  std::size_t bytes() const noexcept override { return sizeof(TruthPlan); }
+};
 
 }  // namespace
 
@@ -73,12 +69,23 @@ std::string SolveReport::failure_message() const {
 }
 
 Solver::Solver(std::uint64_t seed)
-    : rng_(seed), coupling_(brooklyn_coupling()) {
+    : rng_(seed),
+      coupling_(brooklyn_coupling()),
+      plan_cache_(std::make_shared<backend::PlanCache>()) {
   Rng device_rng(seed ^ 0xD3071CEull);
   device_ = advantage_4_1(device_rng);
   if (const auto chaos = ResilienceOptions::chaos_from_env()) {
     resilience_ = *chaos;
   }
+  register_builtin_backends(registry_, &anneal_options_, &device_,
+                            &circuit_options_, &coupling_);
+  engine_.set_shared_cache(&plan_cache_->synth_cache());
+}
+
+void Solver::set_plan_cache(std::shared_ptr<backend::PlanCache> cache) {
+  if (cache == nullptr) return;
+  plan_cache_ = std::move(cache);
+  engine_.set_shared_cache(&plan_cache_->synth_cache());
 }
 
 SolveReport Solver::solve(const Env& env, BackendKind backend) {
@@ -88,13 +95,6 @@ SolveReport Solver::solve(const Env& env, BackendKind backend) {
   solve_impl(env, backend, report, trace);
   report.trace = trace.snapshot();
   return report;
-}
-
-AnalysisTarget Solver::target_for(BackendKind backend) const noexcept {
-  AnalysisTarget target;
-  if (backend == BackendKind::kAnnealer) target.annealer = &device_;
-  if (backend == BackendKind::kCircuit) target.coupling = &coupling_;
-  return target;
 }
 
 bool Solver::validate_options(const std::vector<BackendKind>& chain,
@@ -110,34 +110,13 @@ bool Solver::validate_options(const std::vector<BackendKind>& chain,
   }
   if (!resilience_.retry.validate(&why)) return reject(why);
 
-  bool uses_annealer = false;
-  bool uses_circuit = false;
-  for (BackendKind b : chain) {
-    uses_annealer |= b == BackendKind::kAnnealer;
-    uses_circuit |= b == BackendKind::kCircuit;
-  }
-
-  if (uses_annealer) {
-    const AnnealerSamplerOptions& s = anneal_options_.sampler;
-    if (s.num_reads == 0) return reject("annealer num_reads must be > 0");
-    if (s.num_sweeps == 0) return reject("annealer num_sweeps must be > 0");
-    const DWaveTimingModel& t = s.timing_model;
-    if (!check_finite_nonnegative(t.anneal_us, "anneal_us", &why) ||
-        !check_finite_nonnegative(t.programming_us, "programming_us", &why) ||
-        !check_finite_nonnegative(t.readout_us_per_anneal,
-                                  "readout_us_per_anneal", &why) ||
-        !check_finite_nonnegative(t.delay_us, "delay_us", &why) ||
-        !check_finite_nonnegative(t.postprocess_us, "postprocess_us", &why)) {
-      return reject(why);
+  for (BackendKind bk : chain) {
+    const backend::Backend* be = registry_.find(bk);
+    if (be == nullptr) {
+      return reject(std::string("no backend registered for ") +
+                    backend_name(bk));
     }
-    if (std::isnan(s.ice_sigma) || s.ice_sigma < 0.0) {
-      return reject("ice_sigma must be >= 0");
-    }
-  }
-  if (uses_circuit) {
-    const QaoaOptions& q = circuit_options_.qaoa;
-    if (q.shots == 0) return reject("circuit shots must be > 0");
-    if (q.p < 1) return reject("QAOA depth p must be >= 1");
+    if (!be->validate(&why)) return reject(why);
   }
   return true;
 }
@@ -146,11 +125,16 @@ void Solver::solve_impl(const Env& env, BackendKind backend,
                         SolveReport& report, obs::Trace& trace) {
   obs::Span solve_span(trace, "solve");
 
-  // Chain: the primary backend, then the fallback rungs in order.
+  // Chain: the primary backend, then the fallback rungs in order, with
+  // every duplicate kind dropped (first occurrence wins). Validation and
+  // analysis below run over the deduplicated chain, so a rung listed
+  // twice is checked — and diagnosed — once.
   std::vector<BackendKind> chain{backend};
   if (resilience_.fallback) {
     for (BackendKind b : *resilience_.fallback) {
-      if (b != chain.back()) chain.push_back(b);
+      bool seen = false;
+      for (BackendKind c : chain) seen = seen || c == b;
+      if (!seen) chain.push_back(b);
     }
   }
 
@@ -165,10 +149,13 @@ void Solver::solve_impl(const Env& env, BackendKind backend,
     if (chain.size() > 1) {
       std::vector<AnalysisTarget> targets;
       targets.reserve(chain.size());
-      for (BackendKind b : chain) targets.push_back(target_for(b));
+      for (BackendKind b : chain) {
+        targets.push_back(registry_.find(b)->analysis_target());
+      }
       report.analysis = analyzer_.analyze_chain(env, engine_, targets);
     } else {
-      report.analysis = analyzer_.analyze(env, engine_, target_for(backend));
+      report.analysis = analyzer_.analyze(
+          env, engine_, registry_.find(backend)->analysis_target());
     }
   }
   if (report.analysis.has_errors()) {
@@ -179,7 +166,19 @@ void Solver::solve_impl(const Env& env, BackendKind backend,
 
   {
     obs::Span truth_span(trace, "ground_truth");
-    report.truth = ground_truth(env);
+    backend::Fingerprint truth_key;
+    truth_key.mix(std::string("truth"));
+    backend::mix_env(truth_key, env);
+    if (const backend::PlanPtr cached = plan_cache_->find(truth_key)) {
+      obs::count(&trace, "plan_cache.hit");
+      report.truth = static_cast<const TruthPlan&>(*cached).truth;
+    } else {
+      obs::count(&trace, "plan_cache.miss");
+      report.truth = ground_truth(env);
+      auto plan = std::make_shared<TruthPlan>();
+      plan->truth = report.truth;
+      plan_cache_->insert(truth_key, std::move(plan));
+    }
   }
   if (!report.truth.feasible) {
     fail(report, FailureKind::kInfeasible,
@@ -190,11 +189,20 @@ void Solver::solve_impl(const Env& env, BackendKind backend,
   const bool resilient = resilience_.active();
   const RetryPolicy& retry = resilience_.retry;
   FaultInjector injector(resilience_.faults, resilience_.fault_seed);
+  // Backoff jitter draws from its own stream, never from the solve's
+  // sample stream, so a solve preceded by rejected attempts samples
+  // exactly like a clean solve.
+  Rng backoff_rng(resilience_.fault_seed ^ 0xB0FFull);
   SessionClock clock;
   ResilienceLog& log = report.resilience;
 
+  const backend::SampleFloors floors{resilience_.min_reads,
+                                     resilience_.min_shots};
+
   // Dead-qubit events degrade a per-solve copy of the device, so one
-  // stormy session never poisons the next solve's calibration.
+  // stormy session never poisons the next solve's calibration. The
+  // degraded topology changes the plan key, which forces the re-embed
+  // on the next attempt without any backend-specific logic here.
   const Device* active_device = &device_;
   Device degraded_device;
 
@@ -204,56 +212,30 @@ void Solver::solve_impl(const Env& env, BackendKind backend,
 
   for (std::size_t rung = 0; rung < chain.size(); ++rung) {
     const BackendKind bk = chain[rung];
+    const backend::Backend& be = *registry_.find(bk);
     if (rung > 0) {
       ++log.fallbacks;
       obs::count(&trace, "resilience.fallbacks");
     }
     report.backend = bk;
 
-    std::size_t reads = anneal_options_.sampler.num_reads;
-    std::size_t shots = circuit_options_.qaoa.shots;
-    std::size_t optimizer_budget =
-        circuit_options_.qaoa.optimizer.max_evaluations;
+    backend::Budget budget = be.initial_budget(floors);
     std::size_t rung_attempts = 0;
 
     while (true) {
-      // Deadline gate + degradation ladder. The classical rung is the
-      // guaranteed landing: it ignores the deadline (its modeled device
-      // cost is zero and it is the last resort "instead of failing").
-      double remaining = retry.deadline_ms - clock.elapsed_ms();
-      if (bk != BackendKind::kClassical && std::isfinite(retry.deadline_ms)) {
-        const auto estimate_ms = [&]() {
-          if (bk == BackendKind::kAnnealer) {
-            return anneal_options_.sampler.timing_model.qpu_access_time_us(
-                       reads) *
-                   1e-3;
-          }
-          const IbmTimingModel& t = circuit_options_.timing;
-          const double jobs = static_cast<double>(optimizer_budget) + 1.0;
-          return (t.server_overhead_s +
-                  jobs * (t.job_base_s + 0.5 * t.job_jitter_s +
-                          t.optimizer_s_per_job)) *
-                 1e3;
-        };
-        // Documented steps: halve the sample budget (and, for QAOA, the
-        // optimizer budget) toward the floor until the modeled attempt
-        // cost fits the remaining budget.
-        while (estimate_ms() > remaining) {
-          bool shrunk = false;
-          if (bk == BackendKind::kAnnealer && reads > resilience_.min_reads) {
-            reads = degrade_samples(reads, resilience_.min_reads);
-            shrunk = true;
-          } else if (bk == BackendKind::kCircuit &&
-                     (shots > resilience_.min_shots || optimizer_budget > 4)) {
-            shots = degrade_samples(shots, resilience_.min_shots);
-            optimizer_budget = degrade_samples(optimizer_budget, 4);
-            shrunk = true;
-          }
-          if (!shrunk) break;
+      // Deadline gate + degradation ladder. Deadline-exempt backends (the
+      // classical rung) are the guaranteed landing: they cost no modeled
+      // device time and exist precisely to land the solve.
+      const double remaining = retry.deadline_ms - clock.elapsed_ms();
+      if (!be.deadline_exempt() && std::isfinite(retry.deadline_ms)) {
+        // Documented steps: shrink the sample budget toward its floors
+        // until the modeled attempt cost fits the remaining budget.
+        while (be.estimate_attempt_ms(budget) > remaining) {
+          if (!be.degrade(budget)) break;
           ++log.degradations;
           obs::count(&trace, "resilience.degradations");
         }
-        if (estimate_ms() > remaining) {
+        if (be.estimate_attempt_ms(budget) > remaining) {
           log.deadline_exhausted = true;
           last_failure = FailureKind::kDeadlineExhausted;
           last_detail = std::string("session deadline exhausted before a ") +
@@ -270,9 +252,7 @@ void Solver::solve_impl(const Env& env, BackendKind backend,
       AttemptRecord rec;
       rec.attempt = attempt;
       rec.backend = bk;
-      rec.samples_requested = bk == BackendKind::kAnnealer ? reads
-                              : bk == BackendKind::kCircuit ? shots
-                                                            : 1;
+      rec.samples_requested = budget.samples;
 
       // Plain solves keep the pre-resilience trace shape (no attempt
       // wrapper); resilient solves nest each backend span under one.
@@ -287,67 +267,46 @@ void Solver::solve_impl(const Env& env, BackendKind backend,
       std::string detail;
       std::vector<std::size_t> dead_qubits;
 
-      switch (bk) {
-        case BackendKind::kClassical: {
-          obs::Span span(trace, "classical");
-          const ClassicalSolution solution = solve_exact(env);
-          report.ran = true;
-          report.best_assignment = solution.assignment;
-          const Evaluation eval = env.evaluate(solution.assignment);
-          report.best_quality = classify(eval, report.truth);
-          report.counts = classify_all({eval}, report.truth);
-          report.num_samples = 1;
-          break;
-        }
-        case BackendKind::kAnnealer: {
-          obs::Span span(trace, "anneal");
-          AnnealBackendOptions options = anneal_options_;
-          options.sampler.num_reads = reads;
-          options.faults = injector.armed() ? &injector : nullptr;
-          const AnnealOutcome outcome = run_annealer(
-              env, *active_device, engine_, rng_, options, &trace);
-          rec.device_ms = outcome.timing.total_us * 1e-3;
-          if (outcome.fault) {
-            fk = failure_from_fault(*outcome.fault);
-            detail = failure_kind_description(fk);
-            dead_qubits = outcome.dead_qubits;
-            if (!dead_qubits.empty()) {
-              detail = std::to_string(dead_qubits.size()) +
-                       " embedded qubit(s) died mid-session";
-            }
-          } else if (!outcome.embedded) {
-            fk = FailureKind::kNoEmbedding;
-            detail = "no minor embedding found on the device";
-          } else if (outcome.samples.empty()) {
-            fk = FailureKind::kNoSamples;
-            detail = "annealer returned no samples";
+      {
+        obs::Span span(trace, be.name());
+
+        backend::PrepareContext pctx;
+        pctx.env = &env;
+        pctx.engine = &engine_;
+        pctx.trace = &trace;
+        pctx.device = active_device;
+        pctx.key = be.plan_key(pctx);
+
+        backend::PlanPtr plan = plan_cache_->find(pctx.key);
+        if (plan != nullptr) {
+          obs::count(&trace, "plan_cache.hit");
+        } else {
+          obs::count(&trace, "plan_cache.miss");
+          backend::PrepareOutcome prep = be.prepare(pctx);
+          if (prep.failure != FailureKind::kNone) {
+            fk = prep.failure;
+            detail = std::move(prep.detail);
           } else {
-            fill_annealer_report(report, outcome);
+            plan = std::move(prep.plan);
+            plan_cache_->insert(pctx.key, plan);
           }
-          break;
         }
-        case BackendKind::kCircuit: {
-          obs::Span span(trace, "circuit");
-          CircuitBackendOptions options = circuit_options_;
-          options.qaoa.shots = shots;
-          options.qaoa.optimizer.max_evaluations = optimizer_budget;
-          options.faults = injector.armed() ? &injector : nullptr;
-          const CircuitOutcome outcome = run_circuit_backend(
-              env, coupling_, engine_, rng_, options, &trace);
-          rec.device_ms = outcome.total_seconds * 1e3;
-          if (outcome.fault) {
-            fk = failure_from_fault(*outcome.fault);
-            detail = failure_kind_description(fk);
-          } else if (!outcome.fits) {
-            fk = FailureKind::kDeviceTooSmall;
-            detail = "problem does not fit the 65-qubit device";
-          } else if (outcome.samples.empty()) {
-            fk = FailureKind::kNoSamples;
-            detail = "circuit backend returned no samples";
+
+        if (fk == FailureKind::kNone) {
+          backend::ExecuteContext ectx;
+          ectx.rng = &rng_;
+          ectx.trace = &trace;
+          ectx.faults = injector.armed() ? &injector : nullptr;
+          ectx.budget = budget;
+          backend::ExecutionResult res = be.execute(*plan, ectx);
+          rec.device_ms = res.device_seconds * 1e3;
+          if (res.failure != FailureKind::kNone) {
+            fk = res.failure;
+            detail = std::move(res.detail);
+            dead_qubits = std::move(res.dead_qubits);
           } else {
-            fill_circuit_report(report, outcome);
+            fill_report(report, res);
           }
-          break;
         }
       }
 
@@ -376,7 +335,7 @@ void Solver::solve_impl(const Env& env, BackendKind backend,
       if (can_retry) {
         if (fk == FailureKind::kDeadQubits) {
           // Degradation ladder, step 1: drop the dead qubits from the
-          // working graph and re-embed on the next attempt.
+          // working graph; the changed plan key re-embeds next attempt.
           if (active_device != &degraded_device) {
             degraded_device = device_;
             active_device = &degraded_device;
@@ -387,7 +346,7 @@ void Solver::solve_impl(const Env& env, BackendKind backend,
           ++log.reembeds;
           obs::count(&trace, "resilience.reembeds");
         }
-        const double backoff = retry.backoff_ms(rung_attempts, rng_);
+        const double backoff = retry.backoff_ms(rung_attempts, backoff_rng);
         rec.wait_ms += backoff;
         clock.charge_wait_ms(backoff);
         trace.record_modeled("resilience.backoff", backoff * 1e3);

@@ -19,6 +19,8 @@
 
 #include "analysis/analyzer.hpp"
 #include "anneal/backend.hpp"
+#include "backend/plan_cache.hpp"
+#include "backend/registry.hpp"
 #include "circuit/backend.hpp"
 #include "core/env.hpp"
 #include "obs/obs.hpp"
@@ -81,6 +83,12 @@ class Solver {
   /// resilience_options()) and classifies every sample.
   SolveReport solve(const Env& env, BackendKind backend);
 
+  /// Re-seeds the per-solve sample stream without regenerating the device
+  /// calibration. SolverPool workers construct solvers from one base seed
+  /// (so every task sees the identical topology and plan keys) and then
+  /// give each task its own schedule-independent stream.
+  void reseed(std::uint64_t seed) { rng_ = Rng(seed); }
+
   AnnealBackendOptions& annealer_options() noexcept { return anneal_options_; }
   CircuitBackendOptions& circuit_options() noexcept { return circuit_options_; }
   /// Fault injection, retry policy, deadline, and fallback chain.
@@ -89,16 +97,28 @@ class Solver {
   /// Pre-dispatch static analyzer (tune thresholds via analyzer().options()).
   Analyzer& analyzer() noexcept { return analyzer_; }
 
+  /// Execution backends the solve loop iterates. The builtin classical /
+  /// annealer / circuit adapters are pre-registered; tests and embedders
+  /// may add (or replace, latest-wins) backends.
+  backend::Registry& backends() noexcept { return registry_; }
+
+  /// Content-addressed plan cache consulted before every prepare. Each
+  /// solver owns a private cache by default; share one across solvers
+  /// (SolverPool does) via set_plan_cache. The synthesis engine is
+  /// re-wired to the new cache's shared pattern memo.
+  backend::PlanCache& plan_cache() noexcept { return *plan_cache_; }
+  void set_plan_cache(std::shared_ptr<backend::PlanCache> cache);
+
  private:
   /// Body of solve(); the wrapper owns the trace and snapshots it into the
   /// report on every exit path.
   void solve_impl(const Env& env, BackendKind backend, SolveReport& report,
                   obs::Trace& trace);
   /// Entry validation: false (with kBadOptions set) when the options for
-  /// any backend on the solve chain are nonsensical.
+  /// any backend on the (already deduplicated) solve chain are
+  /// nonsensical. Delegates per-backend checks to Backend::validate.
   bool validate_options(const std::vector<BackendKind>& chain,
                         SolveReport& report) const;
-  AnalysisTarget target_for(BackendKind backend) const noexcept;
 
   SynthEngine engine_;
   Rng rng_;
@@ -108,6 +128,8 @@ class Solver {
   AnnealBackendOptions anneal_options_;
   CircuitBackendOptions circuit_options_;
   ResilienceOptions resilience_;
+  backend::Registry registry_;
+  std::shared_ptr<backend::PlanCache> plan_cache_;
 };
 
 }  // namespace nck

@@ -66,6 +66,13 @@ SynthesizedQubo SynthEngine::synthesize(const ConstraintPattern& pattern) {
       ++stats_.cache_hits;
       return it->second;
     }
+    if (shared_ != nullptr) {
+      if (auto found = shared_->lookup(key)) {
+        ++stats_.cache_hits;
+        ++stats_.shared_hits;
+        return cache_.emplace(key, std::move(*found)).first->second;
+      }
+    }
   }
   SynthesizedQubo result = synthesize_uncached(pattern);
   if (options_.verify) {
@@ -76,7 +83,10 @@ SynthesizedQubo SynthEngine::synthesize(const ConstraintPattern& pattern) {
     }
   }
   if (options_.use_cache) {
-    return cache_.emplace(key, std::move(result)).first->second;
+    const SynthesizedQubo& stored =
+        cache_.emplace(key, std::move(result)).first->second;
+    if (shared_ != nullptr) shared_->insert(key, stored);
+    return stored;
   }
   return result;
 }

@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "synth/shared_cache.hpp"
 #include "synth/synthesizer.hpp"
 
 namespace nck {
@@ -24,6 +25,7 @@ struct SynthEngineOptions {
 struct SynthEngineStats {
   std::size_t requests = 0;
   std::size_t cache_hits = 0;
+  std::size_t shared_hits = 0;  // served from an attached SharedSynthCache
   std::size_t builtin_hits = 0;
   std::size_t z3_calls = 0;
   std::size_t lp_calls = 0;
@@ -45,6 +47,12 @@ class SynthEngine {
   void reset_stats() noexcept { stats_ = {}; }
   void clear_cache() { cache_.clear(); }
 
+  /// Attaches a cross-engine synthesis memo (may be null to detach). On a
+  /// local-cache miss the shared cache is consulted before synthesizing,
+  /// and fresh syntheses are published to it. The cache must outlive the
+  /// engine; the engine itself stays single-threaded.
+  void set_shared_cache(SharedSynthCache* shared) noexcept { shared_ = shared; }
+
  private:
   SynthesizedQubo synthesize_uncached(const ConstraintPattern& pattern);
 
@@ -53,6 +61,7 @@ class SynthEngine {
   std::vector<std::unique_ptr<ConstraintSynthesizer>> general_;
   std::unique_ptr<ConstraintSynthesizer> builtin_;
   std::unordered_map<std::string, SynthesizedQubo> cache_;
+  SharedSynthCache* shared_ = nullptr;
 };
 
 }  // namespace nck

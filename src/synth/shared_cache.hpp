@@ -1,0 +1,61 @@
+// Thread-safe, cross-engine synthesis memo. SynthEngine's own pattern
+// cache is per-engine (and per-thread, since engines are not shared across
+// threads); wiring engines to one SharedSynthCache lets a whole solver
+// pool synthesize each canonical pattern once. Keys are the canonical
+// pattern keys of ConstraintPattern::key().
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+
+#include "synth/synthesizer.hpp"
+
+namespace nck {
+
+class SharedSynthCache {
+ public:
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t inserts = 0;
+    std::size_t entries = 0;
+  };
+
+  std::optional<SynthesizedQubo> lookup(const std::string& key) const {
+    std::shared_lock lock(mutex_);
+    const auto it = map_.find(key);
+    if (it == map_.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
+
+  void insert(const std::string& key, const SynthesizedQubo& value) {
+    std::unique_lock lock(mutex_);
+    map_.emplace(key, value);  // first writer wins; duplicates are identical
+    inserts_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  Stats stats() const {
+    std::shared_lock lock(mutex_);
+    return {hits_.load(std::memory_order_relaxed),
+            misses_.load(std::memory_order_relaxed),
+            inserts_.load(std::memory_order_relaxed), map_.size()};
+  }
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<std::string, SynthesizedQubo> map_;
+  mutable std::atomic<std::size_t> hits_{0};
+  mutable std::atomic<std::size_t> misses_{0};
+  std::atomic<std::size_t> inserts_{0};
+};
+
+}  // namespace nck

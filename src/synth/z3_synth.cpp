@@ -52,15 +52,20 @@ std::optional<SynthesizedQubo> Z3Synthesizer::synthesize(
       z3::expr offset = ctx.int_const("c");
       std::vector<z3::expr> lin;
       for (std::size_t i = 0; i < v; ++i) {
-        lin.push_back(ctx.int_const(("a" + std::to_string(i)).c_str()));
+        std::string lin_name = "a";
+        lin_name += std::to_string(i);
+        lin.push_back(ctx.int_const(lin_name.c_str()));
       }
       std::vector<std::vector<int>> quad_index(v, std::vector<int>(v, -1));
       std::vector<z3::expr> quad;
       for (std::size_t i = 0; i < v; ++i) {
         for (std::size_t j = i + 1; j < v; ++j) {
           quad_index[i][j] = static_cast<int>(quad.size());
-          quad.push_back(ctx.int_const(
-              ("b" + std::to_string(i) + "_" + std::to_string(j)).c_str()));
+          std::string quad_name = "b";
+          quad_name += std::to_string(i);
+          quad_name += "_";
+          quad_name += std::to_string(j);
+          quad.push_back(ctx.int_const(quad_name.c_str()));
         }
       }
 

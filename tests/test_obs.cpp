@@ -339,5 +339,59 @@ TEST(SolveTrace, FailedSolveStillCarriesATrace) {
   EXPECT_NE(report.trace.find_span("analyze"), nullptr);
 }
 
+// ------------------------------------------------------------ merge_trace
+
+TEST(MergeTrace, ReparentsSpansAndAggregatesMetrics) {
+  obs::TraceData task;
+  task.spans.push_back({"solve", obs::kNoParent, 0, 0.0, 100.0, false});
+  task.spans.push_back({"embed", 0, 1, 10.0, 40.0, false});
+  task.spans.push_back({"anneal", 0, 1, 60.0, 80.0, true});
+  task.counters["plan_cache.hit"] = 2.0;
+  task.gauges["transpile.depth"] = 7.0;
+  task.histograms["embed.chain_length"].observe(3.0);
+  task.histograms["embed.chain_length"].observe(5.0);
+
+  obs::TraceData batch;
+  obs::merge_trace(batch, task, "task0");
+  obs::merge_trace(batch, task, "task1");
+
+  ASSERT_EQ(batch.spans.size(), 8u);
+  ASSERT_NE(batch.find_span("task0"), nullptr);
+  ASSERT_NE(batch.find_span("task1"), nullptr);
+  // Synthetic roots sit at depth 0 and span the task's full extent
+  // (last span end = 60 + 80).
+  EXPECT_EQ(batch.spans[0].name, "task0");
+  EXPECT_EQ(batch.spans[0].parent, obs::kNoParent);
+  EXPECT_EQ(batch.spans[0].depth, 0u);
+  EXPECT_DOUBLE_EQ(batch.spans[0].duration_us, 140.0);
+  // Task spans keep pre-order, re-parented one level down.
+  EXPECT_EQ(batch.spans[1].name, "solve");
+  EXPECT_EQ(batch.spans[1].parent, 0u);
+  EXPECT_EQ(batch.spans[1].depth, 1u);
+  EXPECT_EQ(batch.spans[2].parent, 1u);  // embed -> solve
+  EXPECT_EQ(batch.spans[2].depth, 2u);
+  EXPECT_TRUE(batch.spans[3].modeled);
+  // The second task's copy points at its own root, not the first's.
+  EXPECT_EQ(batch.spans[4].name, "task1");
+  EXPECT_EQ(batch.spans[5].parent, 4u);
+
+  // Counters sum, gauges last-write-win, histograms merge.
+  EXPECT_DOUBLE_EQ(batch.counter("plan_cache.hit"), 4.0);
+  EXPECT_DOUBLE_EQ(batch.gauge("transpile.depth"), 7.0);
+  const obs::HistogramData& h = batch.histograms.at("embed.chain_length");
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_DOUBLE_EQ(h.min, 3.0);
+  EXPECT_DOUBLE_EQ(h.max, 5.0);
+  EXPECT_DOUBLE_EQ(h.sum, 16.0);
+}
+
+TEST(MergeTrace, EmptyTaskStillGetsARoot) {
+  obs::TraceData batch;
+  obs::merge_trace(batch, obs::TraceData{}, "task0");
+  ASSERT_EQ(batch.spans.size(), 1u);
+  EXPECT_EQ(batch.spans[0].name, "task0");
+  EXPECT_DOUBLE_EQ(batch.spans[0].duration_us, 0.0);
+}
+
 }  // namespace
 }  // namespace nck

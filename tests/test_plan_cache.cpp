@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "anneal/adapter.hpp"
+#include "anneal/topology.hpp"
+#include "backend/fingerprint.hpp"
+#include "backend/plan.hpp"
+#include "backend/plan_cache.hpp"
+#include "circuit/adapter.hpp"
+#include "circuit/coupling.hpp"
+#include "graph/generators.hpp"
+#include "problems/max_cut.hpp"
+
+namespace nck::backend {
+namespace {
+
+// ------------------------------------------------------ fingerprint core
+
+TEST(FingerprintTest, LanesStartDecorrelatedAndMixChanges) {
+  Fingerprint a;
+  Fingerprint b;
+  EXPECT_EQ(a, b);
+  a.mix(std::uint64_t{1});
+  EXPECT_NE(a, b);
+  b.mix(std::uint64_t{2});
+  EXPECT_NE(a, b);  // different content, different prints
+}
+
+TEST(FingerprintTest, DoubleNormalizesNans) {
+  Fingerprint a;
+  Fingerprint b;
+  a.mix(std::numeric_limits<double>::quiet_NaN());
+  b.mix(-std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(a, b);
+  Fingerprint c;
+  c.mix(0.5);
+  EXPECT_NE(a, c);
+}
+
+// ------------------------------------------- plan-key hash sensitivity
+
+Device small_device() {
+  // A deterministic toy device large enough to embed a 5-cycle max-cut.
+  return perfect_device("toy", circulant_graph(24, std::size_t{4}));
+}
+
+AnnealBackendOptions small_anneal_options() {
+  AnnealBackendOptions options;
+  options.sampler.num_reads = 20;
+  return options;
+}
+
+Fingerprint anneal_key(const Env& env, const AnnealBackendOptions& options,
+                       const Device& device) {
+  AnnealAdapter adapter(&options, &device);
+  PrepareContext ctx;
+  ctx.env = &env;
+  return adapter.plan_key(ctx);
+}
+
+TEST(PlanKey, RenamedButIsomorphicProgramHits) {
+  const Graph g = cycle_graph(5);
+  const Env a = MaxCutProblem{g}.encode();
+  Env b;
+  const auto vars = b.new_vars(5, "totally_different_name");
+  for (const auto& [u, v] : g.edges()) {
+    b.nck({vars[u], vars[v]}, {1}, ConstraintKind::kSoft);
+  }
+  const AnnealBackendOptions options = small_anneal_options();
+  const Device device = small_device();
+  EXPECT_EQ(anneal_key(a, options, device), anneal_key(b, options, device));
+}
+
+TEST(PlanKey, OneConstraintCoefficientMisses) {
+  const Graph g = cycle_graph(5);
+  const Env a = MaxCutProblem{g}.encode();
+  Env b;
+  const auto vars = b.new_vars(5, "v");
+  bool first = true;
+  for (const auto& [u, v] : g.edges()) {
+    // One constraint selects {0, 2} instead of {1}: same variables, same
+    // arity, different selection set — a different QUBO synthesis.
+    if (first) {
+      b.nck({vars[u], vars[v]}, {0, 2}, ConstraintKind::kSoft);
+      first = false;
+    } else {
+      b.nck({vars[u], vars[v]}, {1}, ConstraintKind::kSoft);
+    }
+  }
+  const AnnealBackendOptions options = small_anneal_options();
+  const Device device = small_device();
+  EXPECT_NE(anneal_key(a, options, device), anneal_key(b, options, device));
+}
+
+TEST(PlanKey, OneTopologyEdgeMisses) {
+  const Env env = MaxCutProblem{cycle_graph(5)}.encode();
+  const AnnealBackendOptions options = small_anneal_options();
+  const Device device = small_device();
+
+  Device tweaked = device;
+  Graph g(device.graph.num_vertices());
+  bool dropped = false;
+  for (const auto& [u, v] : device.graph.edges()) {
+    if (!dropped) {
+      dropped = true;  // drop exactly one coupler
+      continue;
+    }
+    g.add_edge(u, v);
+  }
+  tweaked.graph = g;
+  EXPECT_NE(anneal_key(env, options, device),
+            anneal_key(env, options, tweaked));
+
+  // A single inoperable qubit (same graph) must also miss: dead-qubit
+  // recovery relies on the degraded mask forcing a re-prepare.
+  Device degraded = device;
+  degraded.operable[3] = false;
+  EXPECT_NE(anneal_key(env, options, device),
+            anneal_key(env, options, degraded));
+}
+
+TEST(PlanKey, OnePrepareOptionMissesButExecuteOptionsHit) {
+  const Env env = MaxCutProblem{cycle_graph(5)}.encode();
+  const Device device = small_device();
+  const AnnealBackendOptions base = small_anneal_options();
+
+  AnnealBackendOptions chain = base;
+  chain.chain_strength = base.chain_strength + 0.25;
+  EXPECT_NE(anneal_key(env, base, device), anneal_key(env, chain, device));
+
+  AnnealBackendOptions margin = base;
+  margin.compile.hard_margin = base.compile.hard_margin + 1.0;
+  EXPECT_NE(anneal_key(env, base, device), anneal_key(env, margin, device));
+
+  // Execute-only knobs must NOT change the key: degraded retries and
+  // noise sweeps reuse the cached embedding.
+  AnnealBackendOptions reads = base;
+  reads.sampler.num_reads = 7;
+  reads.sampler.ice_sigma = base.sampler.ice_sigma + 0.01;
+  EXPECT_EQ(anneal_key(env, base, device), anneal_key(env, reads, device));
+}
+
+TEST(PlanKey, CircuitDepthIsPrepareShotsAreExecute) {
+  const Env env = MaxCutProblem{cycle_graph(5)}.encode();
+  const Graph coupling = brooklyn_coupling();
+  CircuitBackendOptions base;
+
+  const auto key_of = [&](const CircuitBackendOptions& options) {
+    CircuitAdapter adapter(&options, &coupling);
+    PrepareContext ctx;
+    ctx.env = &env;
+    return adapter.plan_key(ctx);
+  };
+
+  CircuitBackendOptions deeper = base;
+  deeper.qaoa.p += 1;
+  EXPECT_NE(key_of(base), key_of(deeper));
+
+  CircuitBackendOptions shots = base;
+  shots.qaoa.shots = 17;
+  EXPECT_EQ(key_of(base), key_of(shots));
+}
+
+TEST(PlanKey, BackendsNeverCollide) {
+  // The same program on different backends must map to different keys
+  // (the kind tag leads the fingerprint).
+  const Env env = MaxCutProblem{cycle_graph(5)}.encode();
+  const AnnealBackendOptions anneal_options = small_anneal_options();
+  const Device device = small_device();
+  const Graph coupling = brooklyn_coupling();
+  CircuitBackendOptions circuit_options;
+  CircuitAdapter circuit(&circuit_options, &coupling);
+  PrepareContext ctx;
+  ctx.env = &env;
+  EXPECT_NE(anneal_key(env, anneal_options, device), circuit.plan_key(ctx));
+}
+
+// ----------------------------------------------------------- LRU cache
+
+struct FakePlan final : Plan {
+  explicit FakePlan(std::size_t size_, int tag_ = 0) : size(size_), tag(tag_) {}
+  std::size_t size;
+  int tag;
+  std::size_t bytes() const noexcept override { return size; }
+};
+
+Fingerprint key_of(int i) {
+  Fingerprint fp;
+  fp.mix(i);
+  return fp;
+}
+
+TEST(PlanCacheTest, HitRefreshesAndMissCounts) {
+  PlanCache cache(1024);
+  EXPECT_EQ(cache.find(key_of(1)), nullptr);
+  cache.insert(key_of(1), std::make_shared<FakePlan>(100));
+  const PlanPtr hit = cache.find(key_of(1));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->bytes(), 100u);
+  const PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.inserts, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.bytes, 100u);
+}
+
+TEST(PlanCacheTest, LruEvictionUnderTinyBudget) {
+  PlanCache cache(250);
+  cache.insert(key_of(1), std::make_shared<FakePlan>(100, 1));
+  cache.insert(key_of(2), std::make_shared<FakePlan>(100, 2));
+  // Touch 1 so 2 becomes the least recently used.
+  ASSERT_NE(cache.find(key_of(1)), nullptr);
+  cache.insert(key_of(3), std::make_shared<FakePlan>(100, 3));
+
+  EXPECT_NE(cache.find(key_of(1)), nullptr);
+  EXPECT_EQ(cache.find(key_of(2)), nullptr) << "LRU entry should be evicted";
+  EXPECT_NE(cache.find(key_of(3)), nullptr);
+
+  const PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_LE(stats.bytes, 250u);
+}
+
+TEST(PlanCacheTest, OversizedPlanStillUsableOnce) {
+  PlanCache cache(50);
+  cache.insert(key_of(1), std::make_shared<FakePlan>(500));
+  // The current solve still gets to use it...
+  EXPECT_NE(cache.find(key_of(1)), nullptr);
+  // ...but the next insert pushes it out.
+  cache.insert(key_of(2), std::make_shared<FakePlan>(10));
+  EXPECT_EQ(cache.find(key_of(1)), nullptr);
+  EXPECT_NE(cache.find(key_of(2)), nullptr);
+}
+
+TEST(PlanCacheTest, ZeroBudgetMeansUnbounded) {
+  PlanCache cache(0);
+  for (int i = 0; i < 64; ++i) {
+    cache.insert(key_of(i), std::make_shared<FakePlan>(1 << 20));
+  }
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.stats().entries, 64u);
+}
+
+TEST(PlanCacheTest, ClearDropsEntriesKeepsCounters) {
+  PlanCache cache(1024);
+  cache.insert(key_of(1), std::make_shared<FakePlan>(10));
+  ASSERT_NE(cache.find(key_of(1)), nullptr);
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+  EXPECT_EQ(cache.find(key_of(1)), nullptr);
+  EXPECT_GE(cache.stats().hits, 1u);
+}
+
+}  // namespace
+}  // namespace nck::backend

@@ -1,5 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backend/backend.hpp"
+#include "backend/fingerprint.hpp"
 #include "graph/generators.hpp"
 #include "problems/max_cut.hpp"
 #include "problems/vertex_cover.hpp"
@@ -131,6 +137,172 @@ TEST(SolverFacade, ZeroShotsFailsSoftNotUndefined) {
   EXPECT_NE(report.failure_message().find("shots"), std::string::npos)
       << report.failure_message();
   EXPECT_TRUE(report.best_assignment.empty());
+}
+
+// ------------------------------------------ backend / plan-cache layering
+
+TEST(SolveDeterminism, RejectedAttemptsDoNotPerturbTheSampleStream) {
+  const Env env = MaxCutProblem{cycle_graph(5)}.encode();
+
+  Solver bumpy(123);
+  bumpy.annealer_options().sampler.num_reads = 25;
+  ResilienceOptions rough;
+  rough.faults = FaultPlan::parse("reject@1,reject@2,reject@3");
+  rough.retry.max_retries = 3;
+  rough.retry.backoff_initial_ms = 1.0;
+  bumpy.resilience_options() = rough;
+
+  Solver clean(123);
+  clean.annealer_options().sampler.num_reads = 25;
+  clean.resilience_options() = ResilienceOptions{};  // explicit: no faults
+
+  const SolveReport a = bumpy.solve(env, BackendKind::kAnnealer);
+  const SolveReport b = clean.solve(env, BackendKind::kAnnealer);
+  ASSERT_TRUE(a.ran) << a.failure_message();
+  ASSERT_TRUE(b.ran) << b.failure_message();
+  EXPECT_EQ(a.resilience.attempts.size(), 4u);  // 3 rejections + success
+  // The regression this pins down: a solve preceded by rejected attempts
+  // must sample exactly like a clean solve (neither the fault gates nor
+  // the backoff jitter may advance the sample stream).
+  EXPECT_EQ(a.best_assignment, b.best_assignment);
+  EXPECT_EQ(a.best_quality, b.best_quality);
+  EXPECT_EQ(a.num_samples, b.num_samples);
+  EXPECT_EQ(a.counts.optimal, b.counts.optimal);
+  EXPECT_EQ(a.counts.suboptimal, b.counts.suboptimal);
+  EXPECT_EQ(a.counts.incorrect, b.counts.incorrect);
+}
+
+TEST(ChainDedupe, DuplicateRungsDiagnosedOnce) {
+  // complete_graph(10) max-cut has 45 quadratic terms: enough modeled CX
+  // gates to fire the NCK-C002 fidelity warning on every circuit rung.
+  const Env env = MaxCutProblem{complete_graph(10)}.encode();
+  Solver solver(42);
+  ResilienceOptions opts;
+  // The circuit rung appears twice, non-consecutively; entry dedupe must
+  // collapse the chain to [classical, circuit] before analysis.
+  opts.fallback = std::vector<BackendKind>{
+      BackendKind::kCircuit, BackendKind::kClassical, BackendKind::kCircuit};
+  solver.resilience_options() = opts;
+
+  const SolveReport report = solver.solve(env, BackendKind::kClassical);
+  ASSERT_TRUE(report.ran) << report.failure_message();
+  std::size_t depth_warnings = 0;
+  for (const Diagnostic& d : report.analysis.diagnostics()) {
+    if (d.code == DiagCode::kCircuitDepthBudget) ++depth_warnings;
+  }
+  EXPECT_EQ(depth_warnings, 1u)
+      << "duplicate fallback rungs must not duplicate diagnostics";
+}
+
+TEST(PlanCacheIntegration, WarmSolveSkipsPreparation) {
+  Solver solver(42);
+  solver.annealer_options().sampler.num_reads = 20;
+  const Env env = MaxCutProblem{cycle_graph(5)}.encode();
+
+  const SolveReport cold = solver.solve(env, BackendKind::kAnnealer);
+  ASSERT_TRUE(cold.ran) << cold.failure_message();
+  EXPECT_GE(cold.trace.counter("plan_cache.miss"), 1.0);
+  EXPECT_NE(cold.trace.find_span("compile"), nullptr);
+  EXPECT_NE(cold.trace.find_span("embed"), nullptr);
+
+  // Second solve of the same program: the plan (QUBO synthesis + minor
+  // embedding) is served from the cache — no compile span, no embed span,
+  // zero misses — while sampling still runs.
+  const SolveReport warm = solver.solve(env, BackendKind::kAnnealer);
+  ASSERT_TRUE(warm.ran) << warm.failure_message();
+  EXPECT_DOUBLE_EQ(warm.trace.counter("plan_cache.miss"), 0.0);
+  EXPECT_GE(warm.trace.counter("plan_cache.hit"), 1.0);
+  EXPECT_EQ(warm.trace.find_span("compile"), nullptr);
+  EXPECT_EQ(warm.trace.find_span("embed"), nullptr);
+  EXPECT_NE(warm.trace.find_span("anneal.sample"), nullptr);
+  EXPECT_EQ(warm.num_samples, 20u);
+  EXPECT_GE(solver.plan_cache().stats().hits, 1u);
+}
+
+TEST(PlanCacheIntegration, ExecuteOnlyOptionChangesStillHit) {
+  Solver solver(42);
+  solver.annealer_options().sampler.num_reads = 20;
+  const Env env = MaxCutProblem{cycle_graph(5)}.encode();
+  ASSERT_TRUE(solver.solve(env, BackendKind::kAnnealer).ran);
+
+  // Shots and noise are execute-only: the cached embedding is reused.
+  solver.annealer_options().sampler.num_reads = 10;
+  solver.annealer_options().sampler.ice_sigma += 0.01;
+  const SolveReport warm = solver.solve(env, BackendKind::kAnnealer);
+  ASSERT_TRUE(warm.ran) << warm.failure_message();
+  EXPECT_DOUBLE_EQ(warm.trace.counter("plan_cache.miss"), 0.0);
+  EXPECT_EQ(warm.num_samples, 10u);
+
+  // chain_strength feeds the embedded Ising model: prepare-relevant, so
+  // changing it must re-prepare.
+  solver.annealer_options().chain_strength += 0.5;
+  const SolveReport re = solver.solve(env, BackendKind::kAnnealer);
+  ASSERT_TRUE(re.ran) << re.failure_message();
+  EXPECT_GE(re.trace.counter("plan_cache.miss"), 1.0);
+}
+
+struct StubPlan final : backend::Plan {
+  Env env;
+  std::size_t bytes() const noexcept override { return sizeof(Env); }
+};
+
+/// Minimal custom backend: answers every program with all-true. Replaces
+/// the builtin circuit adapter (latest registration wins) to prove the
+/// solve loop is driven by the registry, not a kind switch.
+class StubBackend final : public backend::Backend {
+ public:
+  BackendKind kind() const noexcept override { return BackendKind::kCircuit; }
+  const char* name() const noexcept override { return "stub"; }
+  bool validate(std::string* why) const override {
+    (void)why;
+    return true;
+  }
+  AnalysisTarget analysis_target() const noexcept override { return {}; }
+  backend::Fingerprint plan_key(
+      const backend::PrepareContext& ctx) const override {
+    backend::Fingerprint fp;
+    fp.mix(std::string("stub"));
+    backend::mix_env(fp, *ctx.env);
+    return fp;
+  }
+  backend::PrepareOutcome prepare(
+      const backend::PrepareContext& ctx) const override {
+    auto plan = std::make_shared<StubPlan>();
+    plan->env = *ctx.env;
+    backend::PrepareOutcome outcome;
+    outcome.plan = std::move(plan);
+    return outcome;
+  }
+  backend::ExecutionResult execute(const backend::Plan& plan,
+                                   backend::ExecuteContext& ctx) const override {
+    (void)ctx;
+    const auto& stub = static_cast<const StubPlan&>(plan);
+    backend::ExecutionResult result;
+    std::vector<bool> all_true(stub.env.num_vars(), true);
+    result.single_answer = true;
+    result.evaluations.push_back(stub.env.evaluate(all_true));
+    result.samples.push_back(std::move(all_true));
+    return result;
+  }
+  backend::Budget initial_budget(
+      const backend::SampleFloors& floors) const noexcept override {
+    (void)floors;
+    return {1, 0, 1, 0};
+  }
+};
+
+TEST(BackendRegistry, CustomBackendReplacesBuiltin) {
+  Solver solver(42);
+  solver.backends().add(std::make_unique<StubBackend>());
+  const Env env = MaxCutProblem{cycle_graph(5)}.encode();
+  const SolveReport report = solver.solve(env, BackendKind::kCircuit);
+  ASSERT_TRUE(report.ran) << report.failure_message();
+  EXPECT_EQ(report.backend, BackendKind::kCircuit);
+  // all-true cuts no edge of the 5-cycle: feasible but suboptimal — the
+  // answer only the stub would give.
+  EXPECT_EQ(report.best_quality, Quality::kSuboptimal);
+  EXPECT_NE(report.trace.find_span("stub"), nullptr);
+  EXPECT_EQ(report.trace.find_span("circuit"), nullptr);
 }
 
 TEST(SolverFacade, SameProgramAcrossAllThreeBackends) {
