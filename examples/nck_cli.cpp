@@ -10,10 +10,22 @@
 //           <program-file>...
 //   nck_cli lint [--json] [--target=program|annealer|circuit|all]
 //           <program-file|->
+//   nck_cli certify [--json] [--hard-margin=X] <program-file|->
 //
-// `lint` runs the nck::analysis passes and exits 0 when no error-severity
-// diagnostic was produced, 1 otherwise (warnings and notes do not affect
-// the exit status). --json emits the machine-readable report.
+// `lint` runs the nck::analysis passes; `certify` additionally proves,
+// by exhaustive enumeration, that every constraint's synthesized QUBO
+// has exactly the constraint's satisfying assignments as its ground
+// states, and that every certified hard penalty gap dominates the total
+// soft energy (NCK-V000/V001/V002). --json emits the machine-readable
+// report; for certify it wraps the structured certificate artifact and
+// the diagnostics in one document.
+//
+// Both subcommands share one exit-code contract:
+//   0  no error-severity diagnostic,
+//   1  error diagnostics (the program is provably broken),
+//   2  the analysis itself could not run: unreadable/unparsable program,
+//      bad usage, or constraint QUBO synthesis failure (NCK-Q000 /
+//      a "synthesis failed" certificate).
 //
 // The resilience flags exercise the fault-tolerant solve layer:
 // `--faults` takes the spec grammar of resilience/fault.hpp (e.g.
@@ -50,6 +62,7 @@
 #include <vector>
 
 #include "analysis/analyzer.hpp"
+#include "analysis/certify.hpp"
 #include "circuit/coupling.hpp"
 #include "core/parse.hpp"
 #include "obs/json.hpp"
@@ -69,7 +82,9 @@ int usage() {
                "       nck_cli solve --batch [--backend=...|portfolio] "
                "[--threads=N] <program-file>...\n"
                "       nck_cli lint [--json] "
-               "[--target=program|annealer|circuit|all] <program-file|->\n");
+               "[--target=program|annealer|circuit|all] <program-file|->\n"
+               "       nck_cli certify [--json] [--hard-margin=X] "
+               "<program-file|->\n");
   return 2;
 }
 
@@ -151,6 +166,74 @@ int run_lint(int argc, char** argv) {
   } else {
     report.print(std::cout);
   }
+  if (report.has_code(DiagCode::kSynthesisFailed)) return 2;
+  return report.has_errors() ? 1 : 0;
+}
+
+int run_certify(int argc, char** argv) {
+  bool json = false;
+  CertifyOptions options;
+  const char* path = nullptr;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--hard-margin=", 0) == 0) {
+      try {
+        options.hard_margin = std::stod(arg.substr(14));
+      } catch (const std::exception&) {
+        return usage();
+      }
+    } else if (!path) {
+      path = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (!path) return usage();
+
+  Env env;
+  if (!read_program(path, env)) return 2;
+
+  // Program-level lint first (a provably broken program is not worth
+  // enumerating), with the heuristic NCK-P007 suppressed in favor of the
+  // sound NCK-V001/V002 dominance check below.
+  SynthEngine engine;
+  Analyzer analyzer;
+  analyzer.options().program.scale_separation = false;
+  analyzer.options().program.synth_var_budget = engine.general_var_budget();
+  analyzer.options().program.synth_builtin = engine.builtin_enabled();
+  AnalysisReport report = analyzer.analyze(env);
+
+  ProgramCertificate cert;
+  bool internal_failure = false;
+  if (!report.has_errors()) {
+    cert = certify_program(env, engine, options);
+    report_certificate(env, cert, options, report);
+    for (const ConstraintCertificate& c : cert.constraints) {
+      internal_failure = internal_failure ||
+                         c.error.rfind("synthesis failed", 0) == 0;
+    }
+  }
+
+  if (json) {
+    std::cout << "{\"certificate\":" << cert.to_json()
+              << ",\"report\":" << report.to_json() << "}\n";
+  } else {
+    std::printf("certificate: %s (%zu constraint(s), max_soft_energy=%g, "
+                "hard_scale=%g)\n",
+                cert.ok ? "ok" : "FAILED", cert.constraints.size(),
+                cert.max_soft_energy, cert.hard_scale);
+    for (const ConstraintCertificate& c : cert.constraints) {
+      std::printf("  #%zu %-4s %-7s d=%zu a=%zu gap=%g observed=%g via %s%s%s\n",
+                  c.constraint, c.soft ? "soft" : "hard",
+                  c.ok ? "proved" : "FAILED", c.num_vars, c.num_ancillas,
+                  c.declared_gap, c.observed_gap, c.method.c_str(),
+                  c.error.empty() ? "" : ": ", c.error.c_str());
+    }
+    report.print(std::cout);
+  }
+  if (internal_failure) return 2;
   return report.has_errors() ? 1 : 0;
 }
 
@@ -159,6 +242,9 @@ int run_lint(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "lint") == 0) {
     return run_lint(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "certify") == 0) {
+    return run_certify(argc, argv);
   }
 
   BackendKind backend = BackendKind::kClassical;

@@ -39,6 +39,19 @@ bool analyze_hardware(const Env& env, SynthEngine& engine,
   return true;
 }
 
+/// Program-pass options specialized to the engine actually in use: the
+/// NCK-P008 budget comes from the engine's general synthesizers unless the
+/// caller pinned one explicitly.
+ProgramPassOptions with_engine_budget(const AnalyzeOptions& options,
+                                      const SynthEngine& engine) {
+  ProgramPassOptions program = options.program;
+  if (program.synth_var_budget == 0) {
+    program.synth_var_budget = engine.general_var_budget();
+  }
+  program.synth_builtin = engine.builtin_enabled();
+  return program;
+}
+
 }  // namespace
 
 AnalysisReport Analyzer::analyze(const Env& env) const {
@@ -49,7 +62,8 @@ AnalysisReport Analyzer::analyze(const Env& env) const {
 
 AnalysisReport Analyzer::analyze(const Env& env, SynthEngine& engine,
                                  const AnalysisTarget& target) const {
-  AnalysisReport report = analyze(env);
+  AnalysisReport report;
+  analyze_program(env, with_engine_budget(options_, engine), report);
   // A program that is already known-broken is not worth compiling, and the
   // compiler's hard-scale computation assumes a satisfiable conjunction.
   if (report.has_errors()) return report;
@@ -60,7 +74,8 @@ AnalysisReport Analyzer::analyze(const Env& env, SynthEngine& engine,
 AnalysisReport Analyzer::analyze_chain(
     const Env& env, SynthEngine& engine,
     const std::vector<AnalysisTarget>& chain) const {
-  AnalysisReport report = analyze(env);
+  AnalysisReport report;
+  analyze_program(env, with_engine_budget(options_, engine), report);
   if (report.has_errors() || chain.empty()) return report;
 
   std::size_t feasible_rungs = 0;

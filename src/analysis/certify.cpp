@@ -1,0 +1,246 @@
+#include "analysis/certify.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "qubo/brute_force.hpp"
+
+namespace nck {
+
+namespace {
+
+std::string constraint_label(const Env& env, const Constraint& c) {
+  std::string s = c.to_string(env.var_names());
+  constexpr std::size_t kMax = 64;
+  if (s.size() > kMax) {
+    s.resize(kMax - 3);
+    s += "...";
+  }
+  return s;
+}
+
+/// Shortest round-trippable rendering; certificates must serialize floats
+/// losslessly so a warm (cache-recalled) artifact reproduces cold output.
+std::string json_number(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ConstraintCertificate certify_synthesis(const ConstraintPattern& pattern,
+                                        const SynthesizedQubo& synth,
+                                        const CertifyOptions& options) {
+  ConstraintCertificate cert;
+  const std::size_t d = synth.num_vars;
+  const std::size_t a = synth.num_ancillas;
+  cert.num_vars = d;
+  cert.num_ancillas = a;
+  cert.declared_gap = synth.gap;
+  cert.method = synth.method;
+  cert.max_abs_coefficient = synth.qubo.max_abs_coefficient();
+
+  if (d != pattern.num_vars()) {
+    cert.error = "synthesized variable count mismatches the pattern";
+    return cert;
+  }
+  if (synth.qubo.num_variables() > d + a) {
+    cert.error = "QUBO touches variables beyond d + a";
+    return cert;
+  }
+  if (d + a > options.max_enum_vars) {
+    std::ostringstream os;
+    os << "constraint too wide to certify: d + a = " << (d + a) << " > "
+       << options.max_enum_vars;
+    cert.error = os.str();
+    return cert;
+  }
+  if (synth.gap <= 0.0) {
+    cert.error = "declared gap is not positive";
+    return cert;
+  }
+
+  const std::vector<double> minima =
+      ancilla_projected_minima(synth.qubo, d, a);
+  double min_violating = std::numeric_limits<double>::infinity();
+  for (std::uint32_t xb = 0; xb < (1u << d); ++xb) {
+    const double best = minima[xb];
+    cert.max_min_penalty = std::max(cert.max_min_penalty, best);
+    if (pattern.satisfied(xb)) {
+      cert.worst_valid_ground =
+          std::max(cert.worst_valid_ground, std::abs(best));
+      if (std::abs(best) > options.eps) {
+        std::ostringstream os;
+        os << "satisfying assignment " << xb << " has ground energy " << best
+           << " (expected 0)";
+        cert.error = os.str();
+        return cert;
+      }
+    } else {
+      min_violating = std::min(min_violating, best);
+      if (best < synth.gap - options.eps) {
+        std::ostringstream os;
+        os << "violating assignment " << xb << " reaches energy " << best
+           << " below the declared gap " << synth.gap;
+        cert.error = os.str();
+        return cert;
+      }
+    }
+  }
+  // A tautology has no violating assignment; its gap is vacuously the
+  // declared one.
+  cert.observed_gap =
+      std::isinf(min_violating) ? synth.gap : min_violating;
+  cert.ok = true;
+  return cert;
+}
+
+ProgramCertificate certify_program(const Env& env, SynthEngine& engine,
+                                   const CertifyOptions& options) {
+  ProgramCertificate program;
+  program.ok = true;
+  for (std::size_t ci = 0; ci < env.constraints().size(); ++ci) {
+    const Constraint& c = env.constraints()[ci];
+    ConstraintCertificate cert;
+    try {
+      const SynthesizedQubo synth = engine.synthesize(c.pattern());
+      cert = certify_synthesis(c.pattern(), synth, options);
+    } catch (const std::exception& e) {
+      cert.error = std::string("synthesis failed: ") + e.what();
+    }
+    cert.constraint = ci;
+    cert.soft = c.soft();
+    program.ok = program.ok && cert.ok;
+    program.constraints.push_back(std::move(cert));
+  }
+
+  // Interval propagation mirrors compile(): soft at weight 1/gap, hard at
+  // hard_scale/gap. S_max sums certified worst-case projected minima.
+  if (program.ok) {
+    for (const ConstraintCertificate& cert : program.constraints) {
+      if (cert.soft) {
+        program.max_soft_energy += cert.max_min_penalty / cert.declared_gap;
+      }
+    }
+    program.hard_scale = program.max_soft_energy + options.hard_margin;
+    for (const ConstraintCertificate& cert : program.constraints) {
+      const double scale = cert.soft ? 1.0 / cert.declared_gap
+                                     : program.hard_scale / cert.declared_gap;
+      program.max_abs_scaled_coefficient =
+          std::max(program.max_abs_scaled_coefficient,
+                   scale * cert.max_abs_coefficient);
+    }
+  }
+  return program;
+}
+
+void report_certificate(const Env& env, const ProgramCertificate& cert,
+                        const CertifyOptions& options,
+                        AnalysisReport& report) {
+  for (const ConstraintCertificate& c : cert.constraints) {
+    if (c.ok) continue;
+    report.add({Severity::kError, DiagCode::kCertificationFailed,
+                DiagLocation::constraint(
+                    c.constraint,
+                    constraint_label(env, env.constraints()[c.constraint])),
+                "QUBO ground states do not coincide with the constraint's "
+                "satisfying assignments: " +
+                    c.error,
+                "the compiled objective would optimize the wrong predicate; "
+                "report the synthesis path (" +
+                    (c.method.empty() ? std::string("unknown") : c.method) +
+                    ") and re-run with engine verification on"});
+  }
+  if (!cert.ok) return;
+
+  // Gap dominance. Any assignment violating hard constraint i costs at
+  // least G_i; any feasible assignment costs at most S_max; G_i > S_max is
+  // the sound criterion that soft preferences cannot drown the constraint.
+  const double s_max = cert.max_soft_energy;
+  const double noise =
+      options.ice_sigma * options.resolution_factor *
+      cert.max_abs_scaled_coefficient;
+  for (const ConstraintCertificate& c : cert.constraints) {
+    if (c.soft) continue;
+    const double scaled_gap =
+        cert.hard_scale * c.observed_gap / c.declared_gap;
+    const DiagLocation loc = DiagLocation::constraint(
+        c.constraint, constraint_label(env, env.constraints()[c.constraint]));
+    if (scaled_gap <= s_max + options.eps) {
+      std::ostringstream msg;
+      msg << "certified penalty gap " << scaled_gap
+          << " does not exceed the soft-energy bound " << s_max
+          << "; an optimum may violate this hard constraint";
+      report.add({Severity::kError, DiagCode::kGapDominatedBySoft, loc,
+                  msg.str(),
+                  "raise CompileOptions::hard_margin above zero so every "
+                  "hard gap clears the total soft energy"});
+    } else if (scaled_gap - s_max < noise) {
+      std::ostringstream msg;
+      msg << "dominance margin " << (scaled_gap - s_max)
+          << " is below the annealer noise floor " << noise
+          << " (ice_sigma * resolution_factor * max |coefficient|)";
+      report.add({Severity::kWarning, DiagCode::kGapMarginThin, loc,
+                  msg.str(),
+                  "raise CompileOptions::hard_margin or target the classical "
+                  "backend, where coefficients are exact"});
+    }
+  }
+}
+
+std::string ProgramCertificate::to_json() const {
+  std::ostringstream os;
+  os << "{\"ok\":" << (ok ? "true" : "false")
+     << ",\"max_soft_energy\":" << json_number(max_soft_energy)
+     << ",\"hard_scale\":" << json_number(hard_scale)
+     << ",\"max_abs_scaled_coefficient\":"
+     << json_number(max_abs_scaled_coefficient) << ",\"constraints\":[";
+  for (std::size_t i = 0; i < constraints.size(); ++i) {
+    const ConstraintCertificate& c = constraints[i];
+    if (i) os << ",";
+    os << "{\"constraint\":" << c.constraint
+       << ",\"ok\":" << (c.ok ? "true" : "false")
+       << ",\"soft\":" << (c.soft ? "true" : "false")
+       << ",\"num_vars\":" << c.num_vars
+       << ",\"num_ancillas\":" << c.num_ancillas
+       << ",\"declared_gap\":" << json_number(c.declared_gap)
+       << ",\"observed_gap\":" << json_number(c.observed_gap)
+       << ",\"worst_valid_ground\":" << json_number(c.worst_valid_ground)
+       << ",\"max_min_penalty\":" << json_number(c.max_min_penalty)
+       << ",\"max_abs_coefficient\":" << json_number(c.max_abs_coefficient)
+       << ",\"method\":\"" << json_escape(c.method) << "\""
+       << ",\"error\":\"" << json_escape(c.error) << "\"}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace nck

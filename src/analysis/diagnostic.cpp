@@ -1,5 +1,6 @@
 #include "analysis/diagnostic.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <ostream>
 #include <sstream>
@@ -27,6 +28,8 @@ const char* diag_code_name(DiagCode code) noexcept {
     case DiagCode::kSoftOnlyVariable: return "NCK-P005";
     case DiagCode::kDuplicateConstraint: return "NCK-P006";
     case DiagCode::kScaleSeparation: return "NCK-P007";
+    case DiagCode::kSynthBudgetExceeded: return "NCK-P008";
+    case DiagCode::kUnsatCore: return "NCK-P009";
     case DiagCode::kSynthesisFailed: return "NCK-Q000";
     case DiagCode::kSubNoiseTerm: return "NCK-Q001";
     case DiagCode::kEmbeddingInfeasible: return "NCK-Q002";
@@ -34,6 +37,9 @@ const char* diag_code_name(DiagCode code) noexcept {
     case DiagCode::kCircuitTooWide: return "NCK-C001";
     case DiagCode::kCircuitDepthBudget: return "NCK-C002";
     case DiagCode::kFallbackChainInfeasible: return "NCK-R000";
+    case DiagCode::kCertificationFailed: return "NCK-V000";
+    case DiagCode::kGapDominatedBySoft: return "NCK-V001";
+    case DiagCode::kGapMarginThin: return "NCK-V002";
   }
   return "NCK-????";
 }
@@ -47,6 +53,7 @@ const char* location_kind_name(DiagLocation::Kind kind) noexcept {
     case DiagLocation::Kind::kConstraintPair: return "constraint-pair";
     case DiagLocation::Kind::kVariable: return "variable";
     case DiagLocation::Kind::kQuboTerm: return "qubo-term";
+    case DiagLocation::Kind::kConstraintSet: return "constraint-set";
   }
   return "?";
 }
@@ -100,6 +107,14 @@ std::string DiagLocation::to_string() const {
         os << "qubo term x" << index << "*x" << index2;
       }
       break;
+    case Kind::kConstraintSet:
+      os << "constraints {";
+      for (std::size_t i = 0; i < indices.size(); ++i) {
+        if (i) os << ", ";
+        os << "#" << indices[i];
+      }
+      os << "}";
+      break;
   }
   if (!label.empty()) os << " (" << label << ")";
   return os.str();
@@ -108,21 +123,33 @@ std::string DiagLocation::to_string() const {
 DiagLocation DiagLocation::program() { return {}; }
 
 DiagLocation DiagLocation::constraint(std::size_t i, std::string label) {
-  return {Kind::kConstraint, i, i, std::move(label)};
+  return {Kind::kConstraint, i, i, {}, std::move(label)};
 }
 
 DiagLocation DiagLocation::constraint_pair(std::size_t i, std::size_t j,
                                            std::string label) {
-  return {Kind::kConstraintPair, i, j, std::move(label)};
+  return {Kind::kConstraintPair, i, j, {}, std::move(label)};
 }
 
 DiagLocation DiagLocation::variable(std::size_t v, std::string name) {
-  return {Kind::kVariable, v, v, std::move(name)};
+  return {Kind::kVariable, v, v, {}, std::move(name)};
 }
 
 DiagLocation DiagLocation::qubo_term(std::size_t i, std::size_t j,
                                      std::string label) {
-  return {Kind::kQuboTerm, i, j, std::move(label)};
+  return {Kind::kQuboTerm, i, j, {}, std::move(label)};
+}
+
+DiagLocation DiagLocation::constraint_set(std::vector<std::size_t> members,
+                                          std::string label) {
+  DiagLocation loc;
+  loc.kind = Kind::kConstraintSet;
+  loc.indices = std::move(members);
+  std::sort(loc.indices.begin(), loc.indices.end());
+  loc.index = loc.indices.empty() ? 0 : loc.indices.front();
+  loc.index2 = loc.index;
+  loc.label = std::move(label);
+  return loc;
 }
 
 void AnalysisReport::merge(AnalysisReport other) {
@@ -187,8 +214,12 @@ std::string AnalysisReport::to_json() const {
        << ",\"code\":\"" << diag_code_name(d.code) << "\""
        << ",\"location\":{\"kind\":\"" << location_kind_name(d.location.kind)
        << "\",\"index\":" << d.location.index
-       << ",\"index2\":" << d.location.index2 << ",\"label\":\""
-       << json_escape(d.location.label) << "\"}"
+       << ",\"index2\":" << d.location.index2 << ",\"indices\":[";
+    for (std::size_t k = 0; k < d.location.indices.size(); ++k) {
+      if (k) os << ",";
+      os << d.location.indices[k];
+    }
+    os << "],\"label\":\"" << json_escape(d.location.label) << "\"}"
        << ",\"message\":\"" << json_escape(d.message) << "\""
        << ",\"hint\":\"" << json_escape(d.hint) << "\"}";
   }

@@ -18,7 +18,8 @@ enum class Severity { kNote, kWarning, kError };
 const char* severity_name(Severity s) noexcept;
 
 /// Stable diagnostic codes. P* are program-level passes, Q* QUBO/annealer
-/// passes, C* circuit passes. Codes are append-only: never renumber.
+/// passes, C* circuit passes, V* semantic-certification passes. Codes are
+/// append-only: never renumber. (Full table: README "NCK diagnostic codes".)
 enum class DiagCode {
   kEmptyProgram,             // NCK-P000: program has no constraints
   kContradictoryPair,        // NCK-P001: same collection, disjoint selections
@@ -28,6 +29,8 @@ enum class DiagCode {
   kSoftOnlyVariable,         // NCK-P005: variable only in soft constraints
   kDuplicateConstraint,      // NCK-P006: identical constraint repeated
   kScaleSeparation,          // NCK-P007: hard/soft bias exceeds resolution
+  kSynthBudgetExceeded,      // NCK-P008: constraint exceeds synth d+a budget
+  kUnsatCore,                // NCK-P009: minimal unsatisfiable core (MUS)
   kSynthesisFailed,          // NCK-Q000: constraint QUBO synthesis failed
   kSubNoiseTerm,             // NCK-Q001: terms below the ICE noise floor
   kEmbeddingInfeasible,      // NCK-Q002: cannot embed on the topology
@@ -35,6 +38,9 @@ enum class DiagCode {
   kCircuitTooWide,           // NCK-C001: more QUBO vars than device qubits
   kCircuitDepthBudget,       // NCK-C002: depth estimate exceeds coherence
   kFallbackChainInfeasible,  // NCK-R000: no rung of the fallback chain fits
+  kCertificationFailed,      // NCK-V000: QUBO ground states != sat(nck(N,K))
+  kGapDominatedBySoft,       // NCK-V001: soft penalties can drown a hard gap
+  kGapMarginThin,            // NCK-V002: dominance margin below noise floor
 };
 
 /// "NCK-P001" etc. — the stable identifier emitted in JSON and table output.
@@ -51,11 +57,15 @@ struct DiagLocation {
     kVariable,        // index = VarId
     kQuboTerm,        // index, index2 = QUBO variable(s); index2==index
                       // for a linear term
+    kConstraintSet,   // indices = constraint positions (e.g. an unsat core)
   };
 
   Kind kind = Kind::kProgram;
   std::size_t index = 0;
   std::size_t index2 = 0;
+  /// Member constraint positions for kConstraintSet (sorted ascending);
+  /// empty for every other kind. `index` mirrors the first member.
+  std::vector<std::size_t> indices;
   std::string label;
 
   std::string to_string() const;
@@ -67,6 +77,8 @@ struct DiagLocation {
   static DiagLocation variable(std::size_t v, std::string name = "");
   static DiagLocation qubo_term(std::size_t i, std::size_t j,
                                 std::string label = "");
+  static DiagLocation constraint_set(std::vector<std::size_t> members,
+                                     std::string label = "");
 };
 
 struct Diagnostic {

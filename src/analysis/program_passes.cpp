@@ -1,5 +1,7 @@
 #include "analysis/program_passes.hpp"
 
+#include "analysis/unsat_core.hpp"
+
 #include <algorithm>
 #include <cstdint>
 #include <map>
@@ -341,6 +343,66 @@ void pass_scale_separation(const Env& env, const ProgramPassOptions& options,
               "fewer constraints, or target the classical backend"});
 }
 
+/// When an infeasibility pass fired (NCK-P001/P002), refine the single
+/// reported constraint into a minimal unsatisfiable core so the user sees
+/// the whole conflicting set at once.
+void pass_unsat_core(const Env& env, const ProgramPassOptions& options,
+                     AnalysisReport& report) {
+  if (!report.has_code(DiagCode::kContradictoryPair) &&
+      !report.has_code(DiagCode::kInfeasibleByPropagation)) {
+    return;
+  }
+  const UnsatCore core = extract_unsat_core(env, options);
+  if (!core.found) return;
+  std::ostringstream msg;
+  msg << "minimal unsatisfiable core: these " << core.members.size()
+      << " hard constraint(s) are jointly unsatisfiable, and dropping any "
+         "single member restores feasibility";
+  if (core.verified_minimal) {
+    msg << " (minimality re-verified by deletion)";
+  }
+  report.add({Severity::kNote, DiagCode::kUnsatCore,
+              DiagLocation::constraint_set(core.members), msg.str(),
+              "relax or remove one constraint from this set"});
+}
+
+void pass_synth_budget(const Env& env, const ProgramPassOptions& options,
+                       AnalysisReport& report) {
+  if (options.synth_var_budget == 0) return;
+  for (std::size_t ci = 0; ci < env.constraints().size(); ++ci) {
+    const Constraint& c = env.constraints()[ci];
+    const std::set<unsigned>& sel = c.selection();
+    // Contiguous selection sets (including trivial and singleton) have a
+    // closed-form QUBO of any width when the builtin path is on.
+    const bool contiguous =
+        sel.empty() || (*sel.rbegin() - *sel.begin() + 1 == sel.size());
+    if (options.synth_builtin && contiguous) continue;
+    const std::size_t d = c.distinct_vars().size();
+    if (d > options.synth_var_budget) {
+      std::ostringstream msg;
+      msg << "constraint has " << d
+          << " distinct variables, a non-contiguous selection set, and no "
+             "closed form; the general synthesizers accept at most "
+          << options.synth_var_budget
+          << " total variables (d + ancillas), so synthesis must fail";
+      report.add({Severity::kError, DiagCode::kSynthBudgetExceeded,
+                  DiagLocation::constraint(ci, constraint_label(env, c)),
+                  msg.str(),
+                  "split the constraint into narrower ones or rewrite its "
+                  "selection set as a contiguous range"});
+    } else if (d == options.synth_var_budget) {
+      std::ostringstream msg;
+      msg << "constraint uses the entire " << options.synth_var_budget
+          << "-variable general-synthesis budget, leaving no room for "
+             "ancillas; synthesis fails unless an ancilla-free QUBO exists";
+      report.add({Severity::kWarning, DiagCode::kSynthBudgetExceeded,
+                  DiagLocation::constraint(ci, constraint_label(env, c)),
+                  msg.str(),
+                  "narrow the constraint if synthesis fails with NCK-Q000"});
+    }
+  }
+}
+
 }  // namespace
 
 void analyze_program(const Env& env, const ProgramPassOptions& options,
@@ -356,8 +418,12 @@ void analyze_program(const Env& env, const ProgramPassOptions& options,
   pass_duplicates(env, report);
   pass_contradictory_pairs(env, report);
   pass_propagation(env, options, report);
+  pass_unsat_core(env, options, report);
   pass_variable_usage(env, report);
-  pass_scale_separation(env, options, report);
+  pass_synth_budget(env, options, report);
+  if (options.scale_separation) {
+    pass_scale_separation(env, options, report);
+  }
 }
 
 }  // namespace nck

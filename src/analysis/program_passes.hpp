@@ -26,6 +26,16 @@ struct ProgramPassOptions {
   /// Collections larger than this skip exact subset-sum propagation (the
   /// bitset grows with cardinality); interval reasoning still applies.
   std::size_t max_propagation_cardinality = 4096;
+  /// Active SynthEngine general-path variable budget (d + a), from
+  /// SynthEngine::general_var_budget(). 0 disables the NCK-P008 pass (no
+  /// engine context, e.g. pure-program lint in unit tests).
+  std::size_t synth_var_budget = 0;
+  /// Whether the engine's closed-form path is enabled; contiguous selection
+  /// sets then bypass the general budget and NCK-P008 skips them.
+  bool synth_builtin = true;
+  /// Run the heuristic NCK-P007 scale-separation pass. Certifying solves
+  /// turn this off: NCK-V001/V002 are its sound replacement.
+  bool scale_separation = true;
 };
 
 /// Runs every program-level pass, appending diagnostics to `report`.

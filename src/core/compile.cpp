@@ -4,24 +4,18 @@
 #include <limits>
 #include <stdexcept>
 
+#include "qubo/brute_force.hpp"
+
 namespace nck {
 
 double max_min_penalty(const SynthesizedQubo& synth) {
-  const std::size_t d = synth.num_vars;
-  const std::size_t a = synth.num_ancillas;
-  if (d + a > 24) {
+  if (synth.num_vars + synth.num_ancillas > 24) {
     throw std::invalid_argument("max_min_penalty: constraint too large");
   }
   double worst = 0.0;
-  std::vector<bool> bits(d + a);
-  for (std::uint32_t x = 0; x < (1u << d); ++x) {
-    double best = std::numeric_limits<double>::infinity();
-    for (std::uint32_t z = 0; z < (1u << a); ++z) {
-      const std::uint32_t full = x | (z << d);
-      for (std::size_t i = 0; i < d + a; ++i) bits[i] = (full >> i) & 1u;
-      best = std::min(best, synth.qubo.energy(bits));
-    }
-    worst = std::max(worst, best);
+  for (double m : ancilla_projected_minima(synth.qubo, synth.num_vars,
+                                           synth.num_ancillas)) {
+    worst = std::max(worst, m);
   }
   return worst;
 }

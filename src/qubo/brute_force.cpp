@@ -89,4 +89,29 @@ double brute_force_min_energy_with_fixed(const Qubo& q,
   return best;
 }
 
+std::vector<double> ancilla_projected_minima(const Qubo& q, std::size_t d,
+                                             std::size_t a) {
+  if (d + a > 28) {
+    throw std::invalid_argument(
+        "ancilla_projected_minima: constraint too large");
+  }
+  if (q.num_variables() > d + a) {
+    throw std::invalid_argument(
+        "ancilla_projected_minima: QUBO touches variables beyond d + a");
+  }
+  std::vector<double> minima(1ull << d,
+                             std::numeric_limits<double>::infinity());
+  std::vector<bool> bits(d + a);
+  for (std::uint64_t x = 0; x < (1ull << d); ++x) {
+    double best = std::numeric_limits<double>::infinity();
+    for (std::uint64_t z = 0; z < (1ull << a); ++z) {
+      const std::uint64_t full = x | (z << d);
+      for (std::size_t i = 0; i < d + a; ++i) bits[i] = (full >> i) & 1u;
+      best = std::min(best, q.energy(bits));
+    }
+    minima[x] = best;
+  }
+  return minima;
+}
+
 }  // namespace nck

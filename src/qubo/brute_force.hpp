@@ -33,4 +33,14 @@ double brute_force_min_energy(const Qubo& q);
 double brute_force_min_energy_with_fixed(const Qubo& q,
                                          std::span<const int> fixed);
 
+/// Ancilla projection of a per-constraint QUBO over variables [0, d) with
+/// trailing ancillas [d, d+a): element x of the result (x read as a binary
+/// integer, bit i = x_i) is min over the 2^a ancilla settings z of
+/// f(x, z). This is the function whose argmin the certifier compares with
+/// the constraint's satisfying set, and whose per-x maximum bounds the
+/// worst-case penalty a constraint contributes. Throws if d + a > 28 or
+/// the QUBO touches variables beyond d + a.
+std::vector<double> ancilla_projected_minima(const Qubo& q, std::size_t d,
+                                             std::size_t a);
+
 }  // namespace nck

@@ -60,6 +60,29 @@ struct TruthPlan final : backend::Plan {
   std::size_t bytes() const noexcept override { return sizeof(TruthPlan); }
 };
 
+/// Certificates are deterministic in the program plus the certification
+/// thresholds, so they share the content-addressed cache: a warm solve
+/// recalls the artifact and re-derives the NCK-V* diagnostics by pure
+/// arithmetic, enumerating zero assignments.
+struct CertificatePlan final : backend::Plan {
+  ProgramCertificate certificate;
+  std::size_t bytes() const noexcept override {
+    return sizeof(CertificatePlan) +
+           certificate.constraints.size() * sizeof(ConstraintCertificate);
+  }
+};
+
+backend::Fingerprint certificate_key(const Env& env,
+                                     const CertifyOptions& options) {
+  backend::Fingerprint key;
+  key.mix(std::string("certificate"));
+  key.mix(options.eps);
+  key.mix(options.hard_margin);
+  key.mix(static_cast<std::uint64_t>(options.max_enum_vars));
+  backend::mix_env(key, env);
+  return key;
+}
+
 }  // namespace
 
 std::string SolveReport::failure_message() const {
@@ -144,6 +167,13 @@ void Solver::solve_impl(const Env& env, BackendKind backend,
   // error diagnostics are sound proofs that the solve cannot succeed. In
   // chain mode a rung-specific error is survivable (the solve degrades),
   // so only program-level errors and NCK-R000 abort.
+  // While certifying, the heuristic NCK-P007 scale-separation pass yields
+  // to its sound NCK-V001/V002 successors (restored after the analyze run).
+  const bool saved_scale_separation =
+      analyzer_.options().program.scale_separation;
+  if (solve_options_.certify) {
+    analyzer_.options().program.scale_separation = false;
+  }
   {
     obs::Span analyze_span(trace, "analyze");
     if (chain.size() > 1) {
@@ -158,10 +188,42 @@ void Solver::solve_impl(const Env& env, BackendKind backend,
           env, engine_, registry_.find(backend)->analysis_target());
     }
   }
+  analyzer_.options().program.scale_separation = saved_scale_separation;
   if (report.analysis.has_errors()) {
     fail(report, FailureKind::kAnalysisRejected,
          "static analysis rejected the program: " + report.analysis.summary());
     return;
+  }
+
+  if (solve_options_.certify) {
+    obs::Span certify_span(trace, "certify");
+    const backend::Fingerprint key =
+        certificate_key(env, solve_options_.certify_options);
+    ProgramCertificate cert;
+    if (const backend::PlanPtr cached = plan_cache_->find(key)) {
+      obs::count(&trace, "plan_cache.hit");
+      obs::count(&trace, "certify.cache_hits");
+      cert = static_cast<const CertificatePlan&>(*cached).certificate;
+    } else {
+      obs::count(&trace, "plan_cache.miss");
+      cert = certify_program(env, engine_, solve_options_.certify_options);
+      // Enumeration happens only on this cold path; the warm-solve test
+      // asserts this counter stays flat.
+      trace.registry().add("certify.constraints_enumerated",
+                           static_cast<double>(cert.constraints.size()));
+      auto plan = std::make_shared<CertificatePlan>();
+      plan->certificate = cert;
+      plan_cache_->insert(key, std::move(plan));
+    }
+    report_certificate(env, cert, solve_options_.certify_options,
+                       report.analysis);
+    report.certificate = std::move(cert);
+    if (report.analysis.has_errors()) {
+      fail(report, FailureKind::kAnalysisRejected,
+           "certification rejected the program: " +
+               report.analysis.summary());
+      return;
+    }
   }
 
   {

@@ -15,9 +15,11 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "analysis/analyzer.hpp"
+#include "analysis/certify.hpp"
 #include "anneal/backend.hpp"
 #include "backend/plan_cache.hpp"
 #include "backend/registry.hpp"
@@ -30,6 +32,18 @@
 #include "util/rng.hpp"
 
 namespace nck {
+
+struct SolveOptions {
+  /// Semantically certify every constraint's QUBO (and the whole-program
+  /// gap dominance) before dispatch. Certification failures abort the
+  /// solve with kAnalysisRejected; the artifact is cached content-addressed
+  /// in the plan cache, so warm solves of the same program re-check the
+  /// dominance arithmetic without re-enumerating any assignment. While on,
+  /// the heuristic NCK-P007 pass is suppressed in favor of its sound
+  /// NCK-V001/V002 successors.
+  bool certify = false;
+  CertifyOptions certify_options;
+};
 
 struct SolveReport {
   /// Backend that produced the result; under fallback this is the rung
@@ -48,6 +62,9 @@ struct SolveReport {
   /// abort the solve (ran == false, failure == kAnalysisRejected), while
   /// warnings and notes ride along on successful solves.
   AnalysisReport analysis;
+  /// Semantic certification artifact; engaged only when
+  /// SolveOptions::certify was on (including cache-recalled solves).
+  std::optional<ProgramCertificate> certificate;
   GroundTruth truth;         // classical ground truth used to classify
   /// Best sample (by classification then energy order of the backend).
   std::vector<bool> best_assignment;
@@ -93,6 +110,8 @@ class Solver {
   CircuitBackendOptions& circuit_options() noexcept { return circuit_options_; }
   /// Fault injection, retry policy, deadline, and fallback chain.
   ResilienceOptions& resilience_options() noexcept { return resilience_; }
+  /// Certification toggle and thresholds.
+  SolveOptions& solve_options() noexcept { return solve_options_; }
   SynthEngine& engine() noexcept { return engine_; }
   /// Pre-dispatch static analyzer (tune thresholds via analyzer().options()).
   Analyzer& analyzer() noexcept { return analyzer_; }
@@ -128,6 +147,7 @@ class Solver {
   AnnealBackendOptions anneal_options_;
   CircuitBackendOptions circuit_options_;
   ResilienceOptions resilience_;
+  SolveOptions solve_options_;
   backend::Registry registry_;
   std::shared_ptr<backend::PlanCache> plan_cache_;
 };

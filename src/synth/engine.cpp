@@ -1,5 +1,6 @@
 #include "synth/engine.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "synth/builtin.hpp"
@@ -34,6 +35,14 @@ SynthEngine::SynthEngine(SynthEngineOptions options) : options_(options) {
 #else
   add_lp();
 #endif
+}
+
+std::size_t SynthEngine::general_var_budget() const noexcept {
+  std::size_t budget = 0;
+  for (const auto& synth : general_) {
+    budget = std::max(budget, synth->max_vars());
+  }
+  return budget;
 }
 
 SynthesizedQubo SynthEngine::synthesize_uncached(

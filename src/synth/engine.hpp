@@ -44,6 +44,17 @@ class SynthEngine {
   SynthesizedQubo synthesize(const ConstraintPattern& pattern);
 
   const SynthEngineStats& stats() const noexcept { return stats_; }
+
+  /// Largest d + a any attached *general* synthesizer accepts (the max over
+  /// their max_vars() budgets). Constraints with more distinct variables
+  /// than this that also miss the closed forms cannot be synthesized; the
+  /// NCK-P008 lint pass uses this to reject them before compile.
+  std::size_t general_var_budget() const noexcept;
+
+  /// Whether closed-form constructions are enabled (contiguous selection
+  /// sets bypass the general budget entirely when they are).
+  bool builtin_enabled() const noexcept { return options_.use_builtin; }
+
   void reset_stats() noexcept { stats_ = {}; }
   void clear_cache() { cache_.clear(); }
 

@@ -35,6 +35,15 @@ class ConstraintSynthesizer {
       const ConstraintPattern& pattern) = 0;
 
   virtual std::string name() const = 0;
+
+  /// Largest total variable count d + a this synthesizer accepts; patterns
+  /// with more distinct variables than this are refused outright. The
+  /// NCK-P008 lint pass compares constraint widths against the engine-wide
+  /// maximum of this budget so oversized constraints fail at lint time
+  /// instead of mid-solve. Default: unbounded (closed forms).
+  virtual std::size_t max_vars() const noexcept {
+    return static_cast<std::size_t>(-1);
+  }
 };
 
 /// Expands (c0 + sum_i coeffs[i] * y_i)^2 into a QUBO over y (binary), using

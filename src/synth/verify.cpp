@@ -4,6 +4,8 @@
 #include <limits>
 #include <sstream>
 
+#include "qubo/brute_force.hpp"
+
 namespace nck {
 
 SynthesisCheck verify_synthesis(const ConstraintPattern& pattern,
@@ -19,15 +21,11 @@ SynthesisCheck verify_synthesis(const ConstraintPattern& pattern,
     check.error = "QUBO touches variables beyond d + a";
     return check;
   }
+  const std::vector<double> minima =
+      ancilla_projected_minima(synth.qubo, d, a);
   double min_violating = std::numeric_limits<double>::infinity();
-  std::vector<bool> x(d + a);
   for (std::uint32_t xb = 0; xb < (1u << d); ++xb) {
-    double best = std::numeric_limits<double>::infinity();
-    for (std::uint32_t zb = 0; zb < (1u << a); ++zb) {
-      const std::uint32_t bits = xb | (zb << d);
-      for (std::size_t i = 0; i < d + a; ++i) x[i] = (bits >> i) & 1u;
-      best = std::min(best, synth.qubo.energy(x));
-    }
+    const double best = minima[xb];
     if (pattern.satisfied(xb)) {
       if (std::abs(best) > eps) {
         std::ostringstream os;

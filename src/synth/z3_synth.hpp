@@ -14,7 +14,13 @@ namespace nck {
 
 struct Z3SynthOptions {
   std::size_t max_ancillas = 3;
-  std::size_t max_vars = 10;      // d + a limit
+  /// Total-variable budget: patterns with d + a > max_vars are refused
+  /// (the SMT search space doubles per variable). NOTE: this budget (10)
+  /// deliberately differs from LpSynthOptions::max_vars (8) — the LP grows
+  /// a row per (x, z) pair and saturates earlier. The engine-wide budget
+  /// visible to lint (SynthEngine::general_var_budget, NCK-P008) is the
+  /// max over the attached general synthesizers, i.e. 10 when Z3 is built.
+  std::size_t max_vars = 10;
   long long initial_bound = 4;    // first coefficient magnitude bound
   long long max_bound = 64;       // give up past this bound
 };
@@ -26,6 +32,7 @@ class Z3Synthesizer final : public ConstraintSynthesizer {
   std::optional<SynthesizedQubo> synthesize(
       const ConstraintPattern& pattern) override;
   std::string name() const override { return "z3"; }
+  std::size_t max_vars() const noexcept override { return options_.max_vars; }
 
  private:
   Z3SynthOptions options_;

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Exit-code contract of `nck_cli lint` and `nck_cli certify`:
+#   0  no error-severity diagnostic
+#   1  error diagnostics (program provably broken)
+#   2  the analysis could not run (unreadable/unparsable input, bad usage)
+# Run by ctest as: cli_exit_codes.sh <path-to-nck_cli>
+set -u
+
+CLI="$1"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+cat > "$TMP/clean.nck" <<'EOF'
+nck({a, b}, {1, 2}) /\ nck({a, c}, {1, 2}) /\ nck({b, c}, {1, 2})
+nck({a}, {0}, soft) nck({b}, {0}, soft) nck({c}, {0}, soft)
+EOF
+
+cat > "$TMP/broken.nck" <<'EOF'
+# same collection, disjoint selections: provably unsatisfiable (NCK-P001)
+nck({a, b}, {2}) /\ nck({a, b}, {0})
+EOF
+
+cat > "$TMP/garbage.nck" <<'EOF'
+this is not an nck program
+EOF
+
+fails=0
+expect() {
+  local want="$1"
+  local desc="$2"
+  shift 2
+  "$@" > "$TMP/out" 2> "$TMP/err"
+  local got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: $desc: expected exit $want, got $got" >&2
+    sed 's/^/  stdout: /' "$TMP/out" >&2
+    sed 's/^/  stderr: /' "$TMP/err" >&2
+    fails=$((fails + 1))
+  else
+    echo "ok: $desc (exit $got)"
+  fi
+}
+
+expect 0 "lint clean program"            "$CLI" lint "$TMP/clean.nck"
+expect 1 "lint broken program"           "$CLI" lint "$TMP/broken.nck"
+expect 2 "lint unreadable file"          "$CLI" lint "$TMP/missing.nck"
+expect 2 "lint unparsable program"       "$CLI" lint "$TMP/garbage.nck"
+expect 2 "lint bad usage"                "$CLI" lint
+expect 0 "certify clean program"         "$CLI" certify "$TMP/clean.nck"
+expect 0 "certify clean program (json)"  "$CLI" certify --json "$TMP/clean.nck"
+expect 1 "certify broken program"        "$CLI" certify "$TMP/broken.nck"
+expect 1 "certify drowned gaps (V001)"   "$CLI" certify --hard-margin=0 "$TMP/clean.nck"
+expect 2 "certify unreadable file"       "$CLI" certify "$TMP/missing.nck"
+expect 2 "certify unparsable program"    "$CLI" certify "$TMP/garbage.nck"
+expect 2 "certify bad usage"             "$CLI" certify
+
+# The certify --json document must carry both the artifact and the report.
+"$CLI" certify --json "$TMP/clean.nck" > "$TMP/cert.json"
+if ! grep -q '"certificate":{"ok":true' "$TMP/cert.json" ||
+   ! grep -q '"report":{"diagnostics":' "$TMP/cert.json"; then
+  echo "FAIL: certify --json document missing certificate/report keys" >&2
+  fails=$((fails + 1))
+else
+  echo "ok: certify --json document shape"
+fi
+
+if [ "$fails" -ne 0 ]; then
+  echo "$fails case(s) failed" >&2
+  exit 1
+fi
+echo "all exit-code cases passed"

@@ -4,10 +4,13 @@
 // solve before any backend work, warnings ride along on the report.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
 #include <stdexcept>
 
 #include "analysis/analyzer.hpp"
+#include "analysis/certify.hpp"
+#include "analysis/unsat_core.hpp"
 #include "anneal/topology.hpp"
 #include "circuit/coupling.hpp"
 #include "graph/generators.hpp"
@@ -81,6 +84,25 @@ TEST(AnalysisDiagnostics, CodeNamesAreStable) {
   EXPECT_STREQ(diag_code_name(DiagCode::kEmbeddingTight), "NCK-Q003");
   EXPECT_STREQ(diag_code_name(DiagCode::kCircuitTooWide), "NCK-C001");
   EXPECT_STREQ(diag_code_name(DiagCode::kCircuitDepthBudget), "NCK-C002");
+  EXPECT_STREQ(diag_code_name(DiagCode::kSynthBudgetExceeded), "NCK-P008");
+  EXPECT_STREQ(diag_code_name(DiagCode::kUnsatCore), "NCK-P009");
+  EXPECT_STREQ(diag_code_name(DiagCode::kFallbackChainInfeasible), "NCK-R000");
+  EXPECT_STREQ(diag_code_name(DiagCode::kCertificationFailed), "NCK-V000");
+  EXPECT_STREQ(diag_code_name(DiagCode::kGapDominatedBySoft), "NCK-V001");
+  EXPECT_STREQ(diag_code_name(DiagCode::kGapMarginThin), "NCK-V002");
+}
+
+TEST(AnalysisDiagnostics, ConstraintSetLocationRendersAndSerializes) {
+  const DiagLocation loc = DiagLocation::constraint_set({2, 0, 1}, "core");
+  EXPECT_EQ(loc.kind, DiagLocation::Kind::kConstraintSet);
+  EXPECT_EQ(loc.index, 0u);  // mirrors the first (sorted) member
+  EXPECT_EQ(loc.to_string(), "constraints {#0, #1, #2} (core)");
+
+  AnalysisReport report;
+  report.add({Severity::kNote, DiagCode::kUnsatCore, loc, "msg", ""});
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"kind\":\"constraint-set\""), std::string::npos);
+  EXPECT_NE(json.find("\"indices\":[0,1,2]"), std::string::npos);
 }
 
 TEST(AnalysisDiagnostics, ReportCountsAndSummary) {
@@ -452,6 +474,334 @@ TEST(SolverIntegration, CleanSolveCarriesNoDiagnostics) {
   ASSERT_TRUE(report.ran) << report.failure_message();
   EXPECT_TRUE(report.analysis.empty())
       << report.analysis.summary(Severity::kNote);
+}
+
+// --- Unsat-core (MUS) extraction ------------------------------------------
+
+/// Three hard constraints that are jointly unsatisfiable (a and b forced
+/// TRUE, but their pair count must stay <= 1) plus one satisfiable
+/// bystander that must NOT appear in the core.
+Env mus_program() {
+  Env env;
+  const VarId a = env.var("a"), b = env.var("b"), c = env.var("c");
+  env.nck({a}, {1});
+  env.nck({b}, {1});
+  env.nck({a, b}, {0, 1});
+  env.nck({c}, {1});  // bystander
+  return env;
+}
+
+TEST(UnsatCore, FeasibleProgramHasNoCore) {
+  const UnsatCore core = extract_unsat_core(clean_program(), {});
+  EXPECT_FALSE(core.found);
+  EXPECT_TRUE(core.members.empty());
+}
+
+TEST(UnsatCore, DeletionYieldsVerifiedMinimalCore) {
+  const Env env = mus_program();
+  const UnsatCore core = extract_unsat_core(env, {});
+  ASSERT_TRUE(core.found);
+  EXPECT_EQ(core.members, (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_TRUE(core.verified_minimal);
+  // Independently re-check minimality: the full core is infeasible and
+  // every single-member deletion restores oracle feasibility.
+  EXPECT_TRUE(oracle_infeasible(env, core.members, {}));
+  for (std::size_t skip = 0; skip < core.members.size(); ++skip) {
+    std::vector<std::size_t> without;
+    for (std::size_t i = 0; i < core.members.size(); ++i) {
+      if (i != skip) without.push_back(core.members[i]);
+    }
+    EXPECT_FALSE(oracle_infeasible(env, without, {}))
+        << "core stayed infeasible without member " << core.members[skip];
+  }
+}
+
+TEST(UnsatCore, DisjointPairShrinksToThePair) {
+  Env env = contradictory_program();
+  env.nck({env.var("a")}, {0, 1});  // tautology bystander
+  const UnsatCore core = extract_unsat_core(env, {});
+  ASSERT_TRUE(core.found);
+  EXPECT_EQ(core.members, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(UnsatCore, P009NoteRefinesInfeasibilityErrors) {
+  Analyzer analyzer;
+  const AnalysisReport report = analyzer.analyze(mus_program());
+  ASSERT_TRUE(has_code(report, DiagCode::kInfeasibleByPropagation));
+  ASSERT_TRUE(has_code(report, DiagCode::kUnsatCore));
+  const Diagnostic& d = find_code(report, DiagCode::kUnsatCore);
+  EXPECT_EQ(d.severity, Severity::kNote);
+  EXPECT_EQ(d.location.kind, DiagLocation::Kind::kConstraintSet);
+  EXPECT_EQ(d.location.indices, (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_NE(d.message.find("minimality re-verified"), std::string::npos);
+}
+
+TEST(UnsatCore, NoNoteOnFeasiblePrograms) {
+  Analyzer analyzer;
+  const AnalysisReport report = analyzer.analyze(clean_program());
+  EXPECT_FALSE(has_code(report, DiagCode::kUnsatCore));
+}
+
+// --- NCK-P008 synthesis-budget pre-check ----------------------------------
+
+/// Non-contiguous selection over `n` distinct variables (count 0 or n, i.e.
+/// all-equal), which no closed form covers.
+Env wide_noncontiguous(std::size_t n) {
+  Env env;
+  std::vector<VarId> vars = env.new_vars(n, "x");
+  env.nck(vars, {0u, static_cast<unsigned>(n)});
+  return env;
+}
+
+TEST(SynthBudget, ErrorWhenWidthExceedsBudget) {
+  Analyzer analyzer;
+  analyzer.options().program.synth_var_budget = 8;
+  const AnalysisReport report = analyzer.analyze(wide_noncontiguous(9));
+  ASSERT_TRUE(has_code(report, DiagCode::kSynthBudgetExceeded));
+  EXPECT_EQ(find_code(report, DiagCode::kSynthBudgetExceeded).severity,
+            Severity::kError);
+}
+
+TEST(SynthBudget, WarningAtExactBudget) {
+  Analyzer analyzer;
+  analyzer.options().program.synth_var_budget = 8;
+  const AnalysisReport report = analyzer.analyze(wide_noncontiguous(8));
+  ASSERT_TRUE(has_code(report, DiagCode::kSynthBudgetExceeded));
+  EXPECT_EQ(find_code(report, DiagCode::kSynthBudgetExceeded).severity,
+            Severity::kWarning);
+}
+
+TEST(SynthBudget, ContiguousWideConstraintsBypassTheBudget) {
+  // A 9-variable at-least-one has a closed form regardless of budget...
+  Env env;
+  env.at_least(env.new_vars(9, "x"), 1);
+  Analyzer analyzer;
+  analyzer.options().program.synth_var_budget = 8;
+  EXPECT_FALSE(
+      has_code(analyzer.analyze(env), DiagCode::kSynthBudgetExceeded));
+  // ...but only while the closed-form path is actually enabled.
+  analyzer.options().program.synth_builtin = false;
+  EXPECT_TRUE(
+      has_code(analyzer.analyze(env), DiagCode::kSynthBudgetExceeded));
+}
+
+TEST(SynthBudget, BudgetIsSkippedWithoutEngineContext) {
+  Analyzer analyzer;  // default: synth_var_budget == 0 -> pass disabled
+  EXPECT_FALSE(has_code(analyzer.analyze(wide_noncontiguous(12)),
+                        DiagCode::kSynthBudgetExceeded));
+}
+
+TEST(SynthBudget, EngineBudgetFlowsIntoHardwareAnalysis) {
+  // 11 distinct variables exceed both documented general budgets (Z3: 10,
+  // LP: 8), so the engine-aware overload must flag the program no matter
+  // which general synthesizer this build carries.
+  SynthEngine engine;
+  EXPECT_GE(engine.general_var_budget(), 8u);
+  EXPECT_LE(engine.general_var_budget(), 10u);
+  EXPECT_TRUE(engine.builtin_enabled());
+  Analyzer analyzer;
+  const AnalysisReport report =
+      analyzer.analyze(wide_noncontiguous(11), engine, AnalysisTarget{});
+  ASSERT_TRUE(has_code(report, DiagCode::kSynthBudgetExceeded));
+  EXPECT_TRUE(report.has_errors());
+}
+
+// --- Semantic QUBO certification ------------------------------------------
+
+/// Perturbs one coefficient of `synth` beyond the gap so the certified
+/// ground-state equivalence must break: if some satisfying assignment sets
+/// x0, lowering x0's linear weight by 2*gap drags a valid ground below 0;
+/// otherwise every satisfying assignment avoids x0 and shifting the offset
+/// up by 2*gap lifts all valid grounds off 0.
+SynthesizedQubo mutate_beyond_gap(const ConstraintPattern& pattern,
+                                  const SynthesizedQubo& synth) {
+  SynthesizedQubo mutated = synth;
+  bool valid_sets_x0 = false;
+  for (std::uint32_t xb = 0; xb < (1u << synth.num_vars); ++xb) {
+    valid_sets_x0 = valid_sets_x0 || ((xb & 1u) && pattern.satisfied(xb));
+  }
+  if (valid_sets_x0) {
+    mutated.qubo.add_linear(0, -2.0 * synth.gap);
+  } else {
+    mutated.qubo.add_offset(2.0 * synth.gap);
+  }
+  return mutated;
+}
+
+TEST(Certify, AcceptsEngineSynthesesAndRejectsMutants) {
+  // Property sweep: every nck over <= 5 distinct variables with a random
+  // selection set. The certifier must accept the engine's QUBO and reject
+  // a single-coefficient perturbation beyond the gap.
+  SynthEngine engine;
+  Rng rng(20260806);
+  std::size_t certified = 0;
+  for (std::size_t n = 1; n <= 5; ++n) {
+    for (int trial = 0; trial < 8; ++trial) {
+      std::set<unsigned> selection;
+      for (unsigned k = 0; k <= n; ++k) {
+        if (rng.bernoulli(0.4)) selection.insert(k);
+      }
+      if (selection.empty()) {
+        selection.insert(static_cast<unsigned>(rng.below(n + 1)));
+      }
+      Env env;
+      const Constraint c(env.new_vars(n, "x"), selection,
+                         ConstraintKind::kHard);
+      const ConstraintPattern pattern = c.pattern();
+      const SynthesizedQubo synth = engine.synthesize(pattern);
+      const ConstraintCertificate cert = certify_synthesis(pattern, synth);
+      ASSERT_TRUE(cert.ok) << "n=" << n << " method=" << synth.method << ": "
+                           << cert.error;
+      EXPECT_GE(cert.observed_gap, synth.gap - 1e-6);
+      EXPECT_LE(cert.worst_valid_ground, 1e-6);
+
+      const ConstraintCertificate broken =
+          certify_synthesis(pattern, mutate_beyond_gap(pattern, synth));
+      EXPECT_FALSE(broken.ok) << "n=" << n << " mutation went undetected";
+      ++certified;
+    }
+  }
+  EXPECT_EQ(certified, 40u);
+}
+
+TEST(Certify, MultiplicityPatternsCertify) {
+  SynthEngine engine;
+  Env env;
+  const VarId a = env.var("a"), b = env.var("b"), c = env.var("c");
+  const std::vector<Constraint> cases = {
+      Constraint({a, a, b}, {1, 2}, ConstraintKind::kHard),
+      Constraint({a, a, b, b}, {2}, ConstraintKind::kHard),
+      Constraint({a, b, c}, {0, 2}, ConstraintKind::kHard),  // XOR (Eq. 3)
+  };
+  for (const Constraint& cons : cases) {
+    const ConstraintPattern pattern = cons.pattern();
+    const SynthesizedQubo synth = engine.synthesize(pattern);
+    const ConstraintCertificate cert = certify_synthesis(pattern, synth);
+    EXPECT_TRUE(cert.ok) << cons.to_string() << ": " << cert.error;
+    const ConstraintCertificate broken =
+        certify_synthesis(pattern, mutate_beyond_gap(pattern, synth));
+    EXPECT_FALSE(broken.ok) << cons.to_string();
+  }
+}
+
+TEST(Certify, ProgramCertificateMatchesCompile) {
+  // The interval-propagated program bounds must agree with what compile()
+  // actually computes for the same program.
+  SynthEngine engine;
+  const Env env = clean_program();
+  const ProgramCertificate cert = certify_program(env, engine);
+  ASSERT_TRUE(cert.ok);
+  EXPECT_EQ(cert.constraints.size(), 6u);
+  const CompiledQubo compiled = compile(env, engine);
+  EXPECT_DOUBLE_EQ(cert.max_soft_energy, compiled.max_soft_energy);
+  EXPECT_DOUBLE_EQ(cert.hard_scale, compiled.hard_scale);
+
+  const std::string json = cert.to_json();
+  EXPECT_NE(json.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"observed_gap\":"), std::string::npos);
+  EXPECT_NE(json.find("\"hard_scale\":"), std::string::npos);
+}
+
+TEST(CertifySolver, PaperWorkloadStaysSilentAndSuppressesP007) {
+  // The paper's vertex-cover workload with the default margin: certification
+  // proves dominance, so no V* fires — and the heuristic P007 yields to it.
+  Env env = clean_program();
+  Solver solver(42);
+  solver.solve_options().certify = true;
+  const SolveReport report = solver.solve(env, BackendKind::kClassical);
+  ASSERT_TRUE(report.ran) << report.failure_message();
+  ASSERT_TRUE(report.certificate.has_value());
+  EXPECT_TRUE(report.certificate->ok);
+  EXPECT_TRUE(report.analysis.empty())
+      << report.analysis.summary(Severity::kNote);
+  EXPECT_FALSE(has_code(report.analysis, DiagCode::kScaleSeparation));
+}
+
+TEST(CertifySolver, ZeroMarginProgramRejectedWithV001) {
+  // hard_margin = 0 makes each scaled hard gap exactly equal the
+  // soft-energy bound: a soft-drowned optimum is possible, and the sound
+  // dominance check must reject the program before any backend runs.
+  Solver solver(42);
+  solver.solve_options().certify = true;
+  solver.solve_options().certify_options.hard_margin = 0.0;
+  const SolveReport report =
+      solver.solve(clean_program(), BackendKind::kClassical);
+  EXPECT_FALSE(report.ran);
+  EXPECT_EQ(report.failure, FailureKind::kAnalysisRejected);
+  ASSERT_TRUE(has_code(report.analysis, DiagCode::kGapDominatedBySoft));
+  EXPECT_NE(report.failure_message().find("NCK-V001"), std::string::npos);
+}
+
+TEST(CertifySolver, ThinMarginWarnsWithV002ButRuns) {
+  Solver solver(42);
+  solver.solve_options().certify = true;
+  solver.solve_options().certify_options.hard_margin = 1e-4;
+  const SolveReport report =
+      solver.solve(clean_program(), BackendKind::kClassical);
+  ASSERT_TRUE(report.ran) << report.failure_message();
+  ASSERT_TRUE(has_code(report.analysis, DiagCode::kGapMarginThin));
+  EXPECT_EQ(find_code(report.analysis, DiagCode::kGapMarginThin).severity,
+            Severity::kWarning);
+}
+
+TEST(CertifySolver, HeuristicP007ReplacedBySoundV002) {
+  // Enough softs that the P007 heuristic fires on a plain solve; under
+  // certification the same program gets the sound V002 margin warning
+  // instead, derived from certified gaps rather than a soft-count guess.
+  Env env;
+  const auto vars = env.new_vars(34, "x");
+  env.at_least({vars[0], vars[1]}, 1);
+  for (VarId v : vars) env.prefer_false(v);
+
+  Solver plain(42);
+  const SolveReport heuristic = plain.solve(env, BackendKind::kClassical);
+  ASSERT_TRUE(heuristic.ran) << heuristic.failure_message();
+  EXPECT_TRUE(has_code(heuristic.analysis, DiagCode::kScaleSeparation));
+
+  Solver certifying(42);
+  certifying.solve_options().certify = true;
+  const SolveReport sound = certifying.solve(env, BackendKind::kClassical);
+  ASSERT_TRUE(sound.ran) << sound.failure_message();
+  EXPECT_FALSE(has_code(sound.analysis, DiagCode::kScaleSeparation));
+  EXPECT_TRUE(has_code(sound.analysis, DiagCode::kGapMarginThin));
+}
+
+TEST(CertifySolver, WarmCertifyDoesZeroReEnumeration) {
+  Env env = clean_program();
+  Solver solver(42);
+  solver.solve_options().certify = true;
+
+  const SolveReport cold = solver.solve(env, BackendKind::kClassical);
+  ASSERT_TRUE(cold.ran) << cold.failure_message();
+  EXPECT_DOUBLE_EQ(cold.trace.counter("certify.constraints_enumerated"), 6.0);
+  EXPECT_DOUBLE_EQ(cold.trace.counter("certify.cache_hits"), 0.0);
+
+  const SolveReport warm = solver.solve(env, BackendKind::kClassical);
+  ASSERT_TRUE(warm.ran) << warm.failure_message();
+  // The artifact came back from the content-addressed plan cache: the
+  // V-diagnostics re-derive by pure arithmetic, enumerating nothing.
+  EXPECT_DOUBLE_EQ(warm.trace.counter("certify.constraints_enumerated"), 0.0);
+  EXPECT_DOUBLE_EQ(warm.trace.counter("certify.cache_hits"), 1.0);
+  ASSERT_TRUE(warm.certificate.has_value());
+  EXPECT_TRUE(warm.certificate->ok);
+  EXPECT_EQ(warm.certificate->constraints.size(),
+            cold.certificate->constraints.size());
+  EXPECT_DOUBLE_EQ(warm.certificate->hard_scale, cold.certificate->hard_scale);
+}
+
+TEST(CertifySolver, DifferentMarginsDoNotShareCachedCertificates) {
+  Env env = clean_program();
+  Solver solver(42);
+  solver.solve_options().certify = true;
+  const SolveReport first = solver.solve(env, BackendKind::kClassical);
+  ASSERT_TRUE(first.ran);
+  // A different margin changes the artifact, so it must be a cache miss —
+  // recalling the old certificate would report the wrong hard_scale.
+  solver.solve_options().certify_options.hard_margin = 2.0;
+  const SolveReport second = solver.solve(env, BackendKind::kClassical);
+  ASSERT_TRUE(second.ran);
+  EXPECT_DOUBLE_EQ(second.trace.counter("certify.cache_hits"), 0.0);
+  EXPECT_DOUBLE_EQ(second.certificate->hard_scale, 5.0);  // S_max 3 + 2
 }
 
 }  // namespace
