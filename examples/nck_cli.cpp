@@ -11,6 +11,7 @@
 //   nck_cli lint [--json] [--target=program|annealer|circuit|all]
 //           <program-file|->
 //   nck_cli certify [--json] [--hard-margin=X] <program-file|->
+//   nck_cli simplify [--json] [--emit=FILE] <program-file|->
 //
 // `lint` runs the nck::analysis passes; `certify` additionally proves,
 // by exhaustive enumeration, that every constraint's synthesized QUBO
@@ -20,9 +21,21 @@
 // report; for certify it wraps the structured certificate artifact and
 // the diagnostics in one document.
 //
-// Both subcommands share one exit-code contract:
-//   0  no error-severity diagnostic,
-//   1  error diagnostics (the program is provably broken),
+// `simplify` runs the abstract-interpretation presolve (dataflow fixpoint
+// plus the analysis/reduce catalog) and prints the reduction steps, the
+// equivalence-certification verdict, and the reduced program in the same
+// text format this tool parses. `--emit=FILE` additionally writes the
+// reduced program to FILE (so a downstream `lint`/`certify`/`solve` can
+// consume it); `--json` emits a machine-readable document that includes
+// the original and reduced ground truths on enumerable instances, letting
+// CI assert `original.best == reduced.best + soft_always_satisfied`.
+//
+// The subcommands share one exit-code contract:
+//   0  no error-severity diagnostic (simplify: a sound, possibly identity,
+//      reduction),
+//   1  error diagnostics / the program is provably broken (simplify:
+//      presolve proved the hard constraints unsatisfiable, or the reduction
+//      failed its equivalence certification),
 //   2  the analysis itself could not run: unreadable/unparsable program,
 //      bad usage, or constraint QUBO synthesis failure (NCK-Q000 /
 //      a "synthesis failed" certificate).
@@ -57,12 +70,14 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "analysis/analyzer.hpp"
 #include "analysis/certify.hpp"
+#include "analysis/reduce/reduce.hpp"
 #include "circuit/coupling.hpp"
 #include "core/parse.hpp"
 #include "obs/json.hpp"
@@ -84,6 +99,8 @@ int usage() {
                "       nck_cli lint [--json] "
                "[--target=program|annealer|circuit|all] <program-file|->\n"
                "       nck_cli certify [--json] [--hard-margin=X] "
+               "<program-file|->\n"
+               "       nck_cli simplify [--json] [--emit=FILE] "
                "<program-file|->\n");
   return 2;
 }
@@ -237,6 +254,184 @@ int run_certify(int argc, char** argv) {
   return report.has_errors() ? 1 : 0;
 }
 
+/// Minimal JSON string escaping (quotes, backslash, control characters) —
+/// mirrors the file-local helpers in analysis/diagnostic.cpp.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+int run_simplify(int argc, char** argv) {
+  bool json = false;
+  const char* emit_path = nullptr;
+  const char* path = nullptr;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--emit=", 0) == 0) {
+      emit_path = argv[i] + 7;
+      if (*emit_path == '\0') return usage();
+    } else if (!path) {
+      path = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (!path) return usage();
+
+  Env env;
+  if (!read_program(path, env)) return 2;
+
+  const ReduceOptions options;
+  const ReduceResult result = reduce_program(env, options);
+  const ReductionVerdict verdict =
+      verify_reduction(env, result, options.verify_max_vars);
+  PresolveSummary summary = summarize_reduction(env, result);
+  summary.verified = verdict.checked && verdict.ok;
+  summary.rejected = verdict.checked && !verdict.ok;
+
+  // The ground truths back the CI equivalence gate: on enumerable
+  // instances, original.best must equal reduced.best plus the constant
+  // soft_always_satisfied tallied by decided-soft removal.
+  const bool truth_checked =
+      !result.proved_unsat && !summary.rejected &&
+      env.num_vars() <= options.verify_max_vars &&
+      result.reduced.num_vars() <= options.verify_max_vars;
+  GroundTruth original_truth, reduced_truth;
+  if (truth_checked) {
+    original_truth = ground_truth(env);
+    reduced_truth = ground_truth(result.reduced);
+  }
+
+  const std::string reduced_text =
+      result.proved_unsat ? std::string() : result.reduced.to_string();
+  if (emit_path && !result.proved_unsat && !summary.rejected) {
+    std::ofstream out(emit_path);
+    if (!out) {
+      std::fprintf(stderr, "nck_cli: cannot write '%s'\n", emit_path);
+      return 2;
+    }
+    out << reduced_text;
+    if (!reduced_text.empty() && reduced_text.back() != '\n') out << "\n";
+  }
+
+  if (json) {
+    std::ostringstream os;
+    os << "{\"original\":{\"vars\":" << env.num_vars()
+       << ",\"hard\":" << env.num_hard() << ",\"soft\":" << env.num_soft()
+       << "},\"reduced\":{\"vars\":" << result.reduced.num_vars()
+       << ",\"hard\":" << result.reduced.num_hard()
+       << ",\"soft\":" << result.reduced.num_soft()
+       << "},\"changed\":" << (result.changed() ? "true" : "false")
+       << ",\"proved_unsat\":" << (result.proved_unsat ? "true" : "false")
+       << ",\"needed_pairs\":" << (result.needed_pairs ? "true" : "false")
+       << ",\"components\":" << result.components << ",\"forced\":[";
+    bool first = true;
+    for (std::size_t v = 0; v < result.trace.forced.size(); ++v) {
+      if (result.trace.forced[v] == ForcedValue::kUnknown) continue;
+      if (!first) os << ",";
+      first = false;
+      os << "{\"var\":\"" << json_escape(env.var_name(static_cast<VarId>(v)))
+         << "\",\"value\":"
+         << (result.trace.forced[v] == ForcedValue::kTrue ? "true" : "false")
+         << "}";
+    }
+    os << "],\"steps\":[";
+    for (std::size_t i = 0; i < result.steps.size(); ++i) {
+      const ReductionStep& s = result.steps[i];
+      if (i) os << ",";
+      os << "{\"rule\":\"" << reduction_rule_name(s.rule)
+         << "\",\"index\":" << s.index << ",\"other\":" << s.other
+         << ",\"detail\":\"" << json_escape(s.detail) << "\"}";
+    }
+    os << "],\"soft_always_satisfied\":" << result.trace.soft_always_satisfied
+       << ",\"soft_never_satisfied\":" << result.trace.soft_never_satisfied
+       << ",\"verification\":{\"checked\":"
+       << (verdict.checked ? "true" : "false")
+       << ",\"ok\":" << (verdict.ok ? "true" : "false") << ",\"detail\":\""
+       << json_escape(verdict.detail) << "\"}"
+       << ",\"truth\":{\"checked\":" << (truth_checked ? "true" : "false");
+    if (truth_checked) {
+      os << ",\"original\":{\"feasible\":"
+         << (original_truth.feasible ? "true" : "false")
+         << ",\"best_soft_satisfied\":" << original_truth.best_soft_satisfied
+         << "},\"reduced\":{\"feasible\":"
+         << (reduced_truth.feasible ? "true" : "false")
+         << ",\"best_soft_satisfied\":" << reduced_truth.best_soft_satisfied
+         << "}";
+    }
+    os << "},\"reduced_program\":\"" << json_escape(reduced_text) << "\"}";
+    std::cout << os.str() << "\n";
+  } else {
+    std::printf("presolve: %zu -> %zu variable(s), %zu -> %zu constraint(s)"
+                "%s%s\n",
+                summary.original_vars, summary.reduced_vars,
+                summary.original_constraints, summary.reduced_constraints,
+                result.needed_pairs ? ", via pair mining" : "",
+                result.proved_unsat ? ", UNSATISFIABLE" : "");
+    for (const ReductionStep& s : result.steps) {
+      const std::string other = s.other == s.index
+                                    ? std::string()
+                                    : " (by #" + std::to_string(s.other) + ")";
+      std::printf("  %-20s #%zu%s %s\n", reduction_rule_name(s.rule), s.index,
+                  other.c_str(), s.detail.c_str());
+    }
+    if (result.components >= 2) {
+      std::printf("  reduced program splits into %zu independent "
+                  "component(s)\n", result.components);
+    }
+    if (result.trace.soft_always_satisfied ||
+        result.trace.soft_never_satisfied) {
+      std::printf("  soft offsets: +%zu always satisfied, %zu never "
+                  "satisfiable\n", result.trace.soft_always_satisfied,
+                  result.trace.soft_never_satisfied);
+    }
+    if (!verdict.checked) {
+      std::printf("verification: skipped (program too large to enumerate; "
+                  "per-rule invariants only)\n");
+    } else if (verdict.ok) {
+      std::printf("verification: equivalence proved by exhaustive "
+                  "enumeration\n");
+    } else {
+      std::printf("verification: REJECTED: %s\n", verdict.detail.c_str());
+    }
+    if (truth_checked) {
+      std::printf("ground truth: original %s best=%zu, reduced %s best=%zu "
+                  "(+%zu always-satisfied)\n",
+                  original_truth.feasible ? "feasible" : "infeasible",
+                  original_truth.best_soft_satisfied,
+                  reduced_truth.feasible ? "feasible" : "infeasible",
+                  reduced_truth.best_soft_satisfied,
+                  result.trace.soft_always_satisfied);
+    }
+    if (!result.proved_unsat) {
+      std::printf("reduced program:\n%s%s", reduced_text.c_str(),
+                  (!reduced_text.empty() && reduced_text.back() != '\n')
+                      ? "\n"
+                      : "");
+    }
+  }
+  return (result.proved_unsat || summary.rejected) ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -245,6 +440,9 @@ int main(int argc, char** argv) {
   }
   if (argc >= 2 && std::strcmp(argv[1], "certify") == 0) {
     return run_certify(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "simplify") == 0) {
+    return run_simplify(argc, argv);
   }
 
   BackendKind backend = BackendKind::kClassical;

@@ -57,6 +57,7 @@ ProgramPassOptions with_engine_budget(const AnalyzeOptions& options,
 AnalysisReport Analyzer::analyze(const Env& env) const {
   AnalysisReport report;
   analyze_program(env, options_.program, report);
+  report.canonicalize();
   return report;
 }
 
@@ -66,8 +67,10 @@ AnalysisReport Analyzer::analyze(const Env& env, SynthEngine& engine,
   analyze_program(env, with_engine_budget(options_, engine), report);
   // A program that is already known-broken is not worth compiling, and the
   // compiler's hard-scale computation assumes a satisfiable conjunction.
-  if (report.has_errors()) return report;
-  analyze_hardware(env, engine, target, options_, report);
+  if (!report.has_errors()) {
+    analyze_hardware(env, engine, target, options_, report);
+  }
+  report.canonicalize();
   return report;
 }
 
@@ -76,7 +79,10 @@ AnalysisReport Analyzer::analyze_chain(
     const std::vector<AnalysisTarget>& chain) const {
   AnalysisReport report;
   analyze_program(env, with_engine_budget(options_, engine), report);
-  if (report.has_errors() || chain.empty()) return report;
+  if (report.has_errors() || chain.empty()) {
+    report.canonicalize();
+    return report;
+  }
 
   std::size_t feasible_rungs = 0;
   for (std::size_t i = 0; i < chain.size(); ++i) {
@@ -101,6 +107,7 @@ AnalysisReport Analyzer::analyze_chain(
                 "shorten the program or append a classical rung to the "
                 "fallback chain"});
   }
+  report.canonicalize();
   return report;
 }
 

@@ -40,6 +40,11 @@ const char* diag_code_name(DiagCode code) noexcept {
     case DiagCode::kCertificationFailed: return "NCK-V000";
     case DiagCode::kGapDominatedBySoft: return "NCK-V001";
     case DiagCode::kGapMarginThin: return "NCK-V002";
+    case DiagCode::kForcedVariable: return "NCK-D000";
+    case DiagCode::kSubsumedConstraint: return "NCK-D001";
+    case DiagCode::kIndependentComponents: return "NCK-D002";
+    case DiagCode::kPresolveUnsat: return "NCK-D003";
+    case DiagCode::kReductionRejected: return "NCK-D004";
   }
   return "NCK-????";
 }
@@ -202,6 +207,21 @@ void AnalysisReport::print(std::ostream& os) const {
   table.print(os);
   os << count(Severity::kError) << " error(s), " << count(Severity::kWarning)
      << " warning(s), " << count(Severity::kNote) << " note(s)\n";
+}
+
+void AnalysisReport::canonicalize() {
+  std::stable_sort(
+      diagnostics_.begin(), diagnostics_.end(),
+      [](const Diagnostic& a, const Diagnostic& b) {
+        if (a.code != b.code) return a.code < b.code;
+        const DiagLocation& la = a.location;
+        const DiagLocation& lb = b.location;
+        if (la.kind != lb.kind) return la.kind < lb.kind;
+        if (la.index != lb.index) return la.index < lb.index;
+        if (la.index2 != lb.index2) return la.index2 < lb.index2;
+        if (la.indices != lb.indices) return la.indices < lb.indices;
+        return la.label < lb.label;
+      });
 }
 
 std::string AnalysisReport::to_json() const {

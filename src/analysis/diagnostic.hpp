@@ -18,8 +18,9 @@ enum class Severity { kNote, kWarning, kError };
 const char* severity_name(Severity s) noexcept;
 
 /// Stable diagnostic codes. P* are program-level passes, Q* QUBO/annealer
-/// passes, C* circuit passes, V* semantic-certification passes. Codes are
-/// append-only: never renumber. (Full table: README "NCK diagnostic codes".)
+/// passes, C* circuit passes, V* semantic-certification passes, D* dataflow/
+/// presolve passes. Codes are append-only: never renumber. (Full table:
+/// README "NCK diagnostic codes".)
 enum class DiagCode {
   kEmptyProgram,             // NCK-P000: program has no constraints
   kContradictoryPair,        // NCK-P001: same collection, disjoint selections
@@ -41,6 +42,11 @@ enum class DiagCode {
   kCertificationFailed,      // NCK-V000: QUBO ground states != sat(nck(N,K))
   kGapDominatedBySoft,       // NCK-V001: soft penalties can drown a hard gap
   kGapMarginThin,            // NCK-V002: dominance margin below noise floor
+  kForcedVariable,           // NCK-D000: dataflow forces a variable's value
+  kSubsumedConstraint,       // NCK-D001: constraint implied by a tighter one
+  kIndependentComponents,    // NCK-D002: program splits into disjoint parts
+  kPresolveUnsat,            // NCK-D003: dataflow fixpoint proves unsat
+  kReductionRejected,        // NCK-D004: reduction failed equivalence check
 };
 
 /// "NCK-P001" etc. — the stable identifier emitted in JSON and table output.
@@ -116,6 +122,12 @@ class AnalysisReport {
   /// Machine-readable JSON object:
   /// {"diagnostics":[...],"errors":N,"warnings":N,"notes":N}.
   std::string to_json() const;
+
+  /// Sort diagnostics into the canonical emission order: by code, then by
+  /// location (kind, index, index2, set members, label). Stable, so equal
+  /// keys keep their pass-relative order. Analyzer entry points call this
+  /// before returning, making `lint --json` byte-stable run to run.
+  void canonicalize();
 
  private:
   std::vector<Diagnostic> diagnostics_;

@@ -1,5 +1,7 @@
 #include "analysis/program_passes.hpp"
 
+#include "analysis/dataflow/counting.hpp"
+#include "analysis/reduce/lint.hpp"
 #include "analysis/unsat_core.hpp"
 
 #include <algorithm>
@@ -14,6 +16,12 @@ namespace nck {
 
 namespace {
 
+using dataflow::selection_hits_interval;
+using dataflow::selection_hits_sums;
+using dataflow::SumSet;
+using dataflow::UnfixedView;
+using dataflow::view_under;
+
 /// Truncated constraint rendering for diagnostic labels.
 std::string constraint_label(const Env& env, const Constraint& c) {
   std::string s = c.to_string(env.var_names());
@@ -25,100 +33,18 @@ std::string constraint_label(const Env& env, const Constraint& c) {
   return s;
 }
 
-/// Bitset over achievable multiplicity sums in [0, cap].
-class SumSet {
- public:
-  explicit SumSet(std::size_t cap) : cap_(cap), bits_(cap / 64 + 1, 0) {
-    bits_[0] = 1;  // the empty subset sums to 0
-  }
-
-  /// dp |= dp << m (one item of multiplicity m, chosen or not).
-  void add_item(unsigned m) {
-    if (m == 0) return;
-    const std::size_t word_shift = m / 64;
-    const unsigned bit_shift = m % 64;
-    for (std::size_t i = bits_.size(); i-- > 0;) {
-      std::uint64_t shifted = 0;
-      if (i >= word_shift) {
-        shifted = bits_[i - word_shift] << bit_shift;
-        if (bit_shift != 0 && i > word_shift) {
-          shifted |= bits_[i - word_shift - 1] >> (64 - bit_shift);
-        }
-      }
-      bits_[i] |= shifted;
-    }
-  }
-
-  bool test(std::size_t k) const noexcept {
-    if (k > cap_) return false;
-    return (bits_[k / 64] >> (k % 64)) & 1u;
-  }
-
- private:
-  std::size_t cap_;
-  std::vector<std::uint64_t> bits_;
-};
-
-/// The unfixed slice of one constraint under a partial assignment.
-struct UnfixedView {
-  unsigned fixed_true = 0;     // multiplicity-weighted TRUE count so far
-  unsigned unfixed_total = 0;  // sum of unfixed multiplicities
-  std::vector<std::pair<VarId, unsigned>> unfixed;  // (var, multiplicity)
-};
-
-UnfixedView view_under(const Constraint& c,
-                       const std::vector<ForcedValue>& values) {
-  UnfixedView view;
-  const auto& vars = c.distinct_vars();
-  for (std::size_t i = 0; i < vars.size(); ++i) {
-    unsigned mult = 0;
-    for (VarId v : c.collection()) {
-      if (v == vars[i]) ++mult;
-    }
-    switch (values[vars[i]]) {
-      case ForcedValue::kTrue: view.fixed_true += mult; break;
-      case ForcedValue::kFalse: break;
-      case ForcedValue::kUnknown:
-        view.unfixed.emplace_back(vars[i], mult);
-        view.unfixed_total += mult;
-        break;
-    }
-  }
-  return view;
-}
-
-/// Does the selection set contain any value in [lo, hi]?
-bool selection_hits_interval(const std::set<unsigned>& selection, unsigned lo,
-                             unsigned hi) {
-  auto it = selection.lower_bound(lo);
-  return it != selection.end() && *it <= hi;
-}
-
-/// Does the selection contain fixed + s for some achievable s, where the
-/// achievable sums come from `sums` (offset by `fixed`)?
-bool selection_hits_sums(const std::set<unsigned>& selection, unsigned fixed,
-                         unsigned total, const SumSet& sums) {
-  for (auto it = selection.lower_bound(fixed);
-       it != selection.end() && *it <= fixed + total; ++it) {
-    if (sums.test(*it - fixed)) return true;
-  }
-  return false;
-}
-
 }  // namespace
 
-PropagationResult propagate_forced_values(const Env& env,
-                                          const ProgramPassOptions& options) {
-  PropagationResult result;
-  result.values.assign(env.num_vars(), ForcedValue::kUnknown);
-
+bool propagate_seeded(const Env& env, const ProgramPassOptions& options,
+                      std::vector<ForcedValue>& values,
+                      std::size_t& failed_constraint) {
   bool changed = true;
   while (changed) {
     changed = false;
     for (std::size_t ci = 0; ci < env.constraints().size(); ++ci) {
       const Constraint& c = env.constraints()[ci];
       if (c.soft()) continue;
-      const UnfixedView view = view_under(c, result.values);
+      const UnfixedView view = view_under(c, values);
       const bool exact =
           c.cardinality() <= options.max_propagation_cardinality &&
           view.unfixed.size() <= 64;
@@ -128,9 +54,8 @@ PropagationResult propagate_forced_values(const Env& env,
         for (const auto& [v, m] : view.unfixed) sums.add_item(m);
         if (!selection_hits_sums(c.selection(), view.fixed_true,
                                  view.unfixed_total, sums)) {
-          result.contradiction = true;
-          result.failed_constraint = ci;
-          return result;
+          failed_constraint = ci;
+          return true;
         }
         for (const auto& [v, m] : view.unfixed) {
           // Reachable sums with v excluded entirely (offset unchanged).
@@ -145,15 +70,14 @@ PropagationResult propagate_forced_values(const Env& env,
               selection_hits_sums(c.selection(), view.fixed_true + m,
                                   view.unfixed_total - m, without);
           if (!can_false && !can_true) {
-            result.contradiction = true;
-            result.failed_constraint = ci;
-            return result;
+            failed_constraint = ci;
+            return true;
           }
           if (!can_false) {
-            result.values[v] = ForcedValue::kTrue;
+            values[v] = ForcedValue::kTrue;
             changed = true;
           } else if (!can_true) {
-            result.values[v] = ForcedValue::kFalse;
+            values[v] = ForcedValue::kFalse;
             changed = true;
           }
         }
@@ -163,9 +87,8 @@ PropagationResult propagate_forced_values(const Env& env,
         // and forcing checks (it can only fail to fire, never misfire).
         if (!selection_hits_interval(c.selection(), view.fixed_true,
                                      view.fixed_true + view.unfixed_total)) {
-          result.contradiction = true;
-          result.failed_constraint = ci;
-          return result;
+          failed_constraint = ci;
+          return true;
         }
         for (const auto& [v, m] : view.unfixed) {
           const bool can_false = selection_hits_interval(
@@ -175,21 +98,29 @@ PropagationResult propagate_forced_values(const Env& env,
               c.selection(), view.fixed_true + m,
               view.fixed_true + view.unfixed_total);
           if (!can_false && !can_true) {
-            result.contradiction = true;
-            result.failed_constraint = ci;
-            return result;
+            failed_constraint = ci;
+            return true;
           }
           if (!can_false) {
-            result.values[v] = ForcedValue::kTrue;
+            values[v] = ForcedValue::kTrue;
             changed = true;
           } else if (!can_true) {
-            result.values[v] = ForcedValue::kFalse;
+            values[v] = ForcedValue::kFalse;
             changed = true;
           }
         }
       }
     }
   }
+  return false;
+}
+
+PropagationResult propagate_forced_values(const Env& env,
+                                          const ProgramPassOptions& options) {
+  PropagationResult result;
+  result.values.assign(env.num_vars(), ForcedValue::kUnknown);
+  result.contradiction = propagate_seeded(env, options, result.values,
+                                          result.failed_constraint);
   return result;
 }
 
@@ -343,13 +274,14 @@ void pass_scale_separation(const Env& env, const ProgramPassOptions& options,
               "fewer constraints, or target the classical backend"});
 }
 
-/// When an infeasibility pass fired (NCK-P001/P002), refine the single
+/// When an infeasibility pass fired (NCK-P001/P002/D003), refine the single
 /// reported constraint into a minimal unsatisfiable core so the user sees
 /// the whole conflicting set at once.
 void pass_unsat_core(const Env& env, const ProgramPassOptions& options,
                      AnalysisReport& report) {
   if (!report.has_code(DiagCode::kContradictoryPair) &&
-      !report.has_code(DiagCode::kInfeasibleByPropagation)) {
+      !report.has_code(DiagCode::kInfeasibleByPropagation) &&
+      !report.has_code(DiagCode::kPresolveUnsat)) {
     return;
   }
   const UnsatCore core = extract_unsat_core(env, options);
@@ -418,6 +350,7 @@ void analyze_program(const Env& env, const ProgramPassOptions& options,
   pass_duplicates(env, report);
   pass_contradictory_pairs(env, report);
   pass_propagation(env, options, report);
+  pass_presolve_lint(env, options, report);
   pass_unsat_core(env, options, report);
   pass_variable_usage(env, report);
   pass_synth_budget(env, options, report);

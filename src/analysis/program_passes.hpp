@@ -58,4 +58,13 @@ struct PropagationResult {
 PropagationResult propagate_forced_values(const Env& env,
                                           const ProgramPassOptions& options);
 
+/// Seeded variant: continues propagation from the partial assignment in
+/// `values` (which must be sized env.num_vars()), updating it in place.
+/// Returns true on contradiction, naming the dying hard constraint. The
+/// dataflow engine uses this to interleave count propagation with pair
+/// mining without restarting from the empty assignment.
+bool propagate_seeded(const Env& env, const ProgramPassOptions& options,
+                      std::vector<ForcedValue>& values,
+                      std::size_t& failed_constraint);
+
 }  // namespace nck

@@ -1,0 +1,18 @@
+// NCK-D* lint pass: surfaces what the dataflow/presolve layer would do to a
+// program as diagnostics, without transforming anything. Runs as part of
+// analyze_program.
+#pragma once
+
+#include "analysis/diagnostic.hpp"
+#include "analysis/program_passes.hpp"
+#include "core/env.hpp"
+
+namespace nck {
+
+/// Emits NCK-D000 (forced variable), NCK-D001 (subsumed constraint),
+/// NCK-D002 (independent components) notes and the NCK-D003 error
+/// (dataflow-proved unsat that neither NCK-P001 nor NCK-P002 caught).
+void pass_presolve_lint(const Env& env, const ProgramPassOptions& options,
+                        AnalysisReport& report);
+
+}  // namespace nck

@@ -1,0 +1,452 @@
+#include "analysis/reduce/reduce.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "analysis/dataflow/counting.hpp"
+
+namespace nck {
+
+const char* reduction_rule_name(ReductionRule rule) noexcept {
+  switch (rule) {
+    case ReductionRule::kForcedSubstitution: return "forced-substitution";
+    case ReductionRule::kTautologyRemoval: return "tautology-removal";
+    case ReductionRule::kDuplicateRemoval: return "duplicate-removal";
+    case ReductionRule::kSubsumptionRemoval: return "subsumption-removal";
+    case ReductionRule::kDecidedSoftRemoval: return "decided-soft-removal";
+    case ReductionRule::kUnsatShortCircuit: return "unsat-short-circuit";
+  }
+  return "?";
+}
+
+bool ReductionTrace::identity() const noexcept {
+  if (kept.size() != original_num_vars) return false;
+  for (ForcedValue v : forced) {
+    if (v != ForcedValue::kUnknown) return false;
+  }
+  return true;
+}
+
+std::vector<bool> ReductionTrace::lift(const std::vector<bool>& reduced) const {
+  std::vector<bool> out(original_num_vars, false);
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    out[kept[i]] = i < reduced.size() && reduced[i];
+  }
+  for (std::size_t v = 0; v < forced.size(); ++v) {
+    if (forced[v] == ForcedValue::kTrue) out[v] = true;
+  }
+  return out;
+}
+
+std::vector<bool> ReductionTrace::project(
+    const std::vector<bool>& original) const {
+  std::vector<bool> out(kept.size(), false);
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    out[i] = original[kept[i]];
+  }
+  return out;
+}
+
+bool ReductionTrace::consistent(const std::vector<bool>& original) const {
+  for (std::size_t v = 0; v < forced.size(); ++v) {
+    if (forced[v] == ForcedValue::kTrue && !original[v]) return false;
+    if (forced[v] == ForcedValue::kFalse && original[v]) return false;
+  }
+  return true;
+}
+
+namespace {
+
+using dataflow::SumSet;
+
+std::string sorted_collection_key(const std::vector<VarId>& collection) {
+  std::vector<VarId> sorted = collection;
+  std::sort(sorted.begin(), sorted.end());
+  std::ostringstream os;
+  for (VarId v : sorted) os << v << ",";
+  return os.str();
+}
+
+/// One hard constraint in canonical form for the subsumption scan.
+struct HardForm {
+  std::string key;                  // sorted collection multiset
+  const std::set<unsigned>* sel = nullptr;
+  std::size_t index = 0;            // caller-space index
+};
+
+/// Pairwise subsumption/duplication among hard constraints sharing a
+/// collection multiset: sel(by) ⊆ sel(removed) means every assignment
+/// satisfying `by` satisfies `removed`, so `removed` is redundant. Equal
+/// selections remove the later occurrence only.
+std::vector<Subsumption> subsumptions_among(const std::vector<HardForm>& forms) {
+  std::map<std::string, std::vector<std::size_t>> groups;  // key -> positions
+  for (std::size_t pos = 0; pos < forms.size(); ++pos) {
+    groups[forms[pos].key].push_back(pos);
+  }
+  std::vector<bool> removed(forms.size(), false);
+  std::vector<Subsumption> out;
+  for (const auto& [key, members] : groups) {
+    if (members.size() < 2) continue;
+    for (std::size_t a : members) {
+      if (removed[a]) continue;
+      for (std::size_t b : members) {
+        if (a == b || removed[b]) continue;
+        const std::set<unsigned>& sa = *forms[a].sel;
+        const std::set<unsigned>& sb = *forms[b].sel;
+        if (!std::includes(sa.begin(), sa.end(), sb.begin(), sb.end())) {
+          continue;  // sb is not a subset of sa
+        }
+        const bool duplicate = sa.size() == sb.size();
+        if (duplicate && b > a) continue;  // only the later copy is redundant
+        removed[a] = true;
+        out.push_back({forms[a].index, forms[b].index, duplicate});
+        break;
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Subsumption& x, const Subsumption& y) {
+              return x.removed < y.removed;
+            });
+  return out;
+}
+
+/// Achievability of every count in the selection set / outside it, for a
+/// collection of unforced variables (multiplicities via repetition).
+struct Reachability {
+  bool always = false;  // every achievable count lies in the selection
+  bool never = false;   // no achievable count lies in the selection
+};
+
+Reachability classify_reachability(const std::vector<VarId>& collection,
+                                   const std::set<unsigned>& selection) {
+  std::map<VarId, unsigned> mult;
+  for (VarId v : collection) ++mult[v];
+  unsigned total = 0;
+  for (const auto& [v, m] : mult) total += m;
+  SumSet sums(total);
+  for (const auto& [v, m] : mult) sums.add_item(m);
+  Reachability r;
+  r.always = true;
+  r.never = true;
+  for (unsigned s = 0; s <= total; ++s) {
+    if (!sums.test(s)) continue;
+    if (selection.count(s)) {
+      r.never = false;
+    } else {
+      r.always = false;
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+std::vector<Subsumption> find_hard_subsumptions(const Env& env) {
+  std::vector<HardForm> forms;
+  for (std::size_t ci = 0; ci < env.constraints().size(); ++ci) {
+    const Constraint& c = env.constraints()[ci];
+    if (c.soft()) continue;
+    forms.push_back({sorted_collection_key(c.collection()), &c.selection(), ci});
+  }
+  return subsumptions_among(forms);
+}
+
+std::vector<std::vector<std::size_t>> constraint_components(const Env& env) {
+  const std::size_t n = env.num_constraints();
+  std::vector<std::size_t> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  std::vector<std::size_t> find_stack;
+  auto find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto unite = [&](std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent[std::max(a, b)] = std::min(a, b);
+  };
+
+  std::map<VarId, std::size_t> first_constraint_with;
+  for (std::size_t ci = 0; ci < n; ++ci) {
+    for (VarId v : env.constraints()[ci].distinct_vars()) {
+      auto [it, inserted] = first_constraint_with.emplace(v, ci);
+      if (!inserted) unite(it->second, ci);
+    }
+  }
+  std::map<std::size_t, std::vector<std::size_t>> by_root;
+  for (std::size_t ci = 0; ci < n; ++ci) by_root[find(ci)].push_back(ci);
+  std::vector<std::vector<std::size_t>> components;
+  components.reserve(by_root.size());
+  for (auto& [root, members] : by_root) components.push_back(std::move(members));
+  return components;
+}
+
+ComponentSplit split_components(const Env& env) {
+  ComponentSplit split;
+  for (const std::vector<std::size_t>& members : constraint_components(env)) {
+    std::set<VarId> used;
+    for (std::size_t ci : members) {
+      const Constraint& c = env.constraints()[ci];
+      used.insert(c.collection().begin(), c.collection().end());
+    }
+    Env sub;
+    std::map<VarId, VarId> remap;
+    std::vector<VarId> var_map;
+    for (VarId v : used) {
+      remap[v] = sub.new_var(env.var_name(v));
+      var_map.push_back(v);
+    }
+    for (std::size_t ci : members) {
+      const Constraint& c = env.constraints()[ci];
+      std::vector<VarId> coll;
+      coll.reserve(c.collection().size());
+      for (VarId v : c.collection()) coll.push_back(remap[v]);
+      sub.nck(std::move(coll), c.selection(), c.kind());
+    }
+    split.programs.push_back(std::move(sub));
+    split.var_maps.push_back(std::move(var_map));
+    split.constraint_maps.push_back(members);
+  }
+  return split;
+}
+
+ReduceResult reduce_program(const Env& env, const ReduceOptions& options) {
+  ReduceResult result;
+  result.trace.original_num_vars = env.num_vars();
+  result.trace.forced.assign(env.num_vars(), ForcedValue::kUnknown);
+
+  const DataflowResult flow = solve_dataflow(env, options.dataflow);
+  result.needed_pairs = flow.needed_pairs;
+  if (flow.proved_unsat) {
+    result.proved_unsat = true;
+    ReductionStep step;
+    step.rule = ReductionRule::kUnsatShortCircuit;
+    step.index = flow.unsat_constraint;
+    step.other = flow.unsat_constraint2;
+    step.detail = flow.pair_witness
+                      ? "pairwise constraint-intersection facts admit no "
+                        "joint value"
+                      : "reachable-count set became empty under propagation";
+    result.steps.push_back(std::move(step));
+    return result;
+  }
+  result.trace.forced = flow.values;
+
+  for (std::size_t v = 0; v < env.num_vars(); ++v) {
+    if (flow.values[v] == ForcedValue::kUnknown) continue;
+    ReductionStep step;
+    step.rule = ReductionRule::kForcedSubstitution;
+    step.index = v;
+    step.other = v;
+    step.detail =
+        env.var_name(static_cast<VarId>(v)) +
+        (flow.values[v] == ForcedValue::kTrue ? " := TRUE" : " := FALSE");
+    result.steps.push_back(std::move(step));
+  }
+
+  // Rewrite every constraint under the forced assignment: forced-TRUE
+  // members shift the selection down by their multiplicity, forced-FALSE
+  // members drop out, and out-of-range selections are clipped.
+  struct Rewritten {
+    std::vector<VarId> collection;  // original VarIds, all unforced
+    std::set<unsigned> selection;
+    ConstraintKind kind = ConstraintKind::kHard;
+    std::size_t original_index = 0;
+  };
+  std::vector<Rewritten> survivors;
+  for (std::size_t ci = 0; ci < env.constraints().size(); ++ci) {
+    const Constraint& c = env.constraints()[ci];
+    unsigned shift = 0;
+    std::vector<VarId> coll;
+    for (VarId v : c.collection()) {
+      switch (flow.values[v]) {
+        case ForcedValue::kTrue: ++shift; break;
+        case ForcedValue::kFalse: break;
+        case ForcedValue::kUnknown: coll.push_back(v); break;
+      }
+    }
+    std::set<unsigned> sel;
+    for (unsigned k : c.selection()) {
+      if (k >= shift && k - shift <= coll.size()) sel.insert(k - shift);
+    }
+
+    const Reachability reach = classify_reachability(coll, sel);
+    if (reach.never) {
+      ReductionStep step;
+      step.index = ci;
+      step.other = ci;
+      if (c.soft()) {
+        ++result.trace.soft_never_satisfied;
+        step.rule = ReductionRule::kDecidedSoftRemoval;
+        step.detail = "soft constraint unsatisfiable under every remaining "
+                      "assignment";
+        result.steps.push_back(std::move(step));
+        continue;
+      }
+      // A hard constraint with no reachable satisfying count contradicts
+      // the dataflow fixpoint above; keep the short-circuit as a belt.
+      result.proved_unsat = true;
+      step.rule = ReductionRule::kUnsatShortCircuit;
+      step.detail = "hard constraint unsatisfiable after substitution";
+      result.steps.push_back(std::move(step));
+      result.reduced = Env{};
+      result.trace.kept.clear();
+      return result;
+    }
+    if (reach.always) {
+      ReductionStep step;
+      step.index = ci;
+      step.other = ci;
+      if (c.soft()) {
+        ++result.trace.soft_always_satisfied;
+        step.rule = ReductionRule::kDecidedSoftRemoval;
+        step.detail = "soft constraint satisfied under every remaining "
+                      "assignment";
+      } else {
+        step.rule = ReductionRule::kTautologyRemoval;
+        step.detail = "hard constraint satisfied by every reachable count";
+      }
+      result.steps.push_back(std::move(step));
+      continue;
+    }
+    survivors.push_back({std::move(coll), std::move(sel), c.kind(), ci});
+  }
+
+  // Duplicate and subsumption removal among the rewritten hard constraints.
+  {
+    std::vector<HardForm> forms;
+    std::vector<std::size_t> positions;  // forms index -> survivors index
+    for (std::size_t pos = 0; pos < survivors.size(); ++pos) {
+      if (survivors[pos].kind != ConstraintKind::kHard) continue;
+      forms.push_back({sorted_collection_key(survivors[pos].collection),
+                       &survivors[pos].selection, pos});
+    }
+    std::vector<bool> drop(survivors.size(), false);
+    for (const Subsumption& s : subsumptions_among(forms)) {
+      drop[s.removed] = true;
+      ReductionStep step;
+      step.rule = s.duplicate ? ReductionRule::kDuplicateRemoval
+                              : ReductionRule::kSubsumptionRemoval;
+      step.index = survivors[s.removed].original_index;
+      step.other = survivors[s.by].original_index;
+      step.detail = s.duplicate
+                        ? "hard constraint repeats an earlier one"
+                        : "implied by the tighter selection set of the "
+                          "other constraint";
+      result.steps.push_back(std::move(step));
+    }
+    std::vector<Rewritten> filtered;
+    filtered.reserve(survivors.size());
+    for (std::size_t pos = 0; pos < survivors.size(); ++pos) {
+      if (!drop[pos]) filtered.push_back(std::move(survivors[pos]));
+    }
+    survivors = std::move(filtered);
+  }
+
+  // Variable compaction: keep unforced variables that still appear in a
+  // surviving constraint, and pass through variables that never appeared in
+  // any constraint (their NCK-P004 story is unchanged by presolve).
+  std::vector<bool> in_original(env.num_vars(), false);
+  for (const Constraint& c : env.constraints()) {
+    for (VarId v : c.collection()) in_original[v] = true;
+  }
+  std::vector<bool> in_survivor(env.num_vars(), false);
+  for (const Rewritten& rw : survivors) {
+    for (VarId v : rw.collection) in_survivor[v] = true;
+  }
+  std::vector<VarId> remap(env.num_vars(), 0);
+  for (std::size_t v = 0; v < env.num_vars(); ++v) {
+    if (flow.values[v] != ForcedValue::kUnknown) continue;
+    if (in_survivor[v] || !in_original[v]) {
+      remap[v] = result.reduced.new_var(env.var_name(static_cast<VarId>(v)));
+      result.trace.kept.push_back(static_cast<VarId>(v));
+    }
+  }
+  for (const Rewritten& rw : survivors) {
+    std::vector<VarId> coll;
+    coll.reserve(rw.collection.size());
+    for (VarId v : rw.collection) coll.push_back(remap[v]);
+    result.reduced.nck(std::move(coll), rw.selection, rw.kind);
+  }
+
+  result.components = result.reduced.num_constraints() == 0
+                          ? 0
+                          : constraint_components(result.reduced).size();
+  return result;
+}
+
+ReductionVerdict verify_reduction(const Env& original,
+                                  const ReduceResult& result,
+                                  std::size_t max_vars) {
+  ReductionVerdict verdict;
+  const std::size_t n = original.num_vars();
+  if (n > max_vars || n >= 8 * sizeof(std::size_t)) return verdict;
+  verdict.checked = true;
+
+  std::vector<bool> x(n, false);
+  const std::size_t total = std::size_t{1} << n;
+  for (std::size_t bits = 0; bits < total; ++bits) {
+    for (std::size_t i = 0; i < n; ++i) x[i] = (bits >> i) & 1u;
+    const Evaluation orig = original.evaluate(x);
+    auto fail = [&](const std::string& why) {
+      verdict.ok = false;
+      std::ostringstream os;
+      os << why << " at assignment 0x" << std::hex << bits;
+      verdict.detail = os.str();
+    };
+    if (result.proved_unsat) {
+      if (orig.feasible()) {
+        fail("program reported unsatisfiable has a feasible assignment");
+        return verdict;
+      }
+      continue;
+    }
+    if (!result.trace.consistent(x)) {
+      if (orig.feasible()) {
+        fail("forced value excludes a hard-feasible assignment");
+        return verdict;
+      }
+      continue;
+    }
+    const Evaluation red = result.reduced.evaluate(result.trace.project(x));
+    if (orig.feasible() != red.feasible()) {
+      fail("hard feasibility diverges between original and reduced");
+      return verdict;
+    }
+    if (orig.soft_satisfied !=
+        red.soft_satisfied + result.trace.soft_always_satisfied) {
+      fail("soft-satisfaction count diverges between original and reduced");
+      return verdict;
+    }
+  }
+  return verdict;
+}
+
+PresolveSummary summarize_reduction(const Env& original,
+                                    const ReduceResult& result) {
+  PresolveSummary s;
+  s.original_vars = original.num_vars();
+  s.original_constraints = original.num_constraints();
+  s.reduced_vars = result.reduced.num_vars();
+  s.reduced_constraints = result.reduced.num_constraints();
+  for (ForcedValue v : result.trace.forced) {
+    if (v != ForcedValue::kUnknown) ++s.forced;
+  }
+  s.removed_constraints = s.original_constraints - s.reduced_constraints;
+  s.components = result.components;
+  s.soft_always_satisfied = result.trace.soft_always_satisfied;
+  s.soft_never_satisfied = result.trace.soft_never_satisfied;
+  s.proved_unsat = result.proved_unsat;
+  return s;
+}
+
+}  // namespace nck

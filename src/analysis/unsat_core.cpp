@@ -1,5 +1,7 @@
 #include "analysis/unsat_core.hpp"
 
+#include "analysis/dataflow/dataflow.hpp"
+
 #include <algorithm>
 #include <map>
 #include <set>
@@ -56,9 +58,16 @@ bool has_disjoint_pair(const Env& env, const std::vector<std::size_t>& subset) {
 
 bool oracle_infeasible(const Env& env, const std::vector<std::size_t>& subset,
                        const ProgramPassOptions& options) {
+  // Three monotone infeasibility checks, weakest first. Monotonicity in
+  // constraint inclusion (adding constraints can only shrink selection
+  // intersections, add forced values, and narrow pair masks) is what makes
+  // the deletion sweep in extract_unsat_core yield a genuine minimal core.
   if (has_disjoint_pair(env, subset)) return true;
   const Env sub = subset_env(env, subset);
-  return propagate_forced_values(sub, options).contradiction;
+  DataflowOptions flow_options;
+  flow_options.max_propagation_cardinality =
+      options.max_propagation_cardinality;
+  return solve_dataflow(sub, flow_options).proved_unsat;
 }
 
 UnsatCore extract_unsat_core(const Env& env,

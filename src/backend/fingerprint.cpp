@@ -1,8 +1,11 @@
 #include "backend/fingerprint.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <utility>
+#include <vector>
 
 #include "anneal/topology.hpp"
 #include "core/env.hpp"
@@ -48,16 +51,30 @@ void mix_env(Fingerprint& fp, const Env& env) {
   fp.mix(std::string("env"));
   fp.mix(env.num_vars());
   fp.mix(env.num_constraints());
+  // Hash each constraint into its own fingerprint and mix the digests in
+  // sorted order: a program is a conjunction plus a soft-count objective,
+  // both order-independent, so permuted-but-identical programs must key the
+  // same PlanCache entry. Sorting a digest multiset (not a set) keeps
+  // repeated soft constraints — which double their weight — distinct.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> digests;
+  digests.reserve(env.num_constraints());
   for (const Constraint& c : env.constraints()) {
-    fp.mix(c.soft());
+    Fingerprint cf;
+    cf.mix(c.soft());
     // distinct_vars() is the constraint's canonical variable order, so two
     // constraints built from permuted-but-equal collections hash alike.
     const auto& vars = c.distinct_vars();
-    fp.mix(vars.size());
-    for (VarId v : vars) fp.mix(static_cast<std::uint64_t>(v));
-    fp.mix(c.cardinality());
+    cf.mix(vars.size());
+    for (VarId v : vars) cf.mix(static_cast<std::uint64_t>(v));
+    cf.mix(c.cardinality());
     const ConstraintPattern pattern = c.pattern();
-    fp.mix(pattern.key());
+    cf.mix(pattern.key());
+    digests.emplace_back(cf.lo(), cf.hi());
+  }
+  std::sort(digests.begin(), digests.end());
+  for (const auto& [lo, hi] : digests) {
+    fp.mix(lo);
+    fp.mix(hi);
   }
 }
 

@@ -58,7 +58,10 @@ class Fingerprint {
 };
 
 /// Canonical program structure: variable count plus every constraint's
-/// (hardness, canonical collection, selection set). Names are ignored.
+/// (hardness, canonical collection, selection set), mixed as a sorted
+/// multiset of per-constraint digests so constraint *order* is erased —
+/// permuted-but-identical programs share PlanCache entries. Names are
+/// ignored.
 void mix_env(Fingerprint& fp, const Env& env);
 
 /// Edge list of a graph (vertex count + sorted adjacency).

@@ -83,6 +83,32 @@ backend::Fingerprint certificate_key(const Env& env,
   return key;
 }
 
+/// Presolve reductions are deterministic in the program plus the reduce
+/// options, so the reduced program, its trace, and its equivalence verdict
+/// live in the content-addressed cache: warm solves (and permuted-but-
+/// identical programs, thanks to the canonical mix_env) skip the dataflow
+/// fixpoint and the 2^n verification entirely.
+struct PresolvePlan final : backend::Plan {
+  ReduceResult result;
+  ReductionVerdict verdict;
+  std::size_t bytes() const noexcept override {
+    return sizeof(PresolvePlan) +
+           result.steps.size() * sizeof(ReductionStep) +
+           result.trace.forced.size() + result.trace.kept.size() * sizeof(VarId);
+  }
+};
+
+backend::Fingerprint presolve_key(const Env& env, const ReduceOptions& options) {
+  backend::Fingerprint key;
+  key.mix(std::string("presolve"));
+  key.mix(static_cast<std::uint64_t>(options.verify_max_vars));
+  key.mix(options.dataflow.mine_pairs);
+  key.mix(static_cast<std::uint64_t>(options.dataflow.max_propagation_cardinality));
+  key.mix(static_cast<std::uint64_t>(options.dataflow.max_pair_vars));
+  backend::mix_env(key, env);
+  return key;
+}
+
 }  // namespace
 
 std::string SolveReport::failure_message() const {
@@ -163,6 +189,74 @@ void Solver::solve_impl(const Env& env, BackendKind backend,
 
   if (!validate_options(chain, report)) return;
 
+  // Presolve: run the dataflow fixpoint and the model-preserving reduction
+  // catalog before anything else touches the program. On success the whole
+  // pipeline below — analysis, certification, ground truth, backend plan
+  // keys — operates on the reduced program, and samples are lifted back to
+  // original space at the end. Three non-identity outcomes:
+  //   reduced          `work` switches to the cached reduced program;
+  //   proved unsat     `work` stays original, so the analysis block below
+  //                    rejects it with the usual NCK-P001/P002/D003 story;
+  //   rejected         the equivalence check failed (NCK-D004 warning is
+  //                    appended after analysis); `work` stays original.
+  const Env* work = &env;
+  backend::PlanPtr presolve_plan_ptr;  // owns the reduced Env `work` may alias
+  const PresolvePlan* presolve_plan = nullptr;
+  bool presolve_rejected = false;
+  if (solve_options_.presolve) {
+    obs::Span presolve_span(trace, "presolve");
+    const backend::Fingerprint key =
+        presolve_key(env, solve_options_.reduce_options);
+    if (backend::PlanPtr cached = plan_cache_->find(key)) {
+      obs::count(&trace, "plan_cache.hit");
+      obs::count(&trace, "presolve.cache_hit");
+      presolve_plan_ptr = std::move(cached);
+    } else {
+      obs::count(&trace, "plan_cache.miss");
+      obs::count(&trace, "presolve.cache_miss");
+      auto plan = std::make_shared<PresolvePlan>();
+      plan->result = reduce_program(env, solve_options_.reduce_options);
+      plan->verdict = verify_reduction(
+          env, plan->result, solve_options_.reduce_options.verify_max_vars);
+      presolve_plan_ptr = std::move(plan);
+      plan_cache_->insert(key, presolve_plan_ptr);
+    }
+    presolve_plan = static_cast<const PresolvePlan*>(presolve_plan_ptr.get());
+    const ReduceResult& red = presolve_plan->result;
+    PresolveSummary summary = summarize_reduction(env, red);
+    summary.verified = presolve_plan->verdict.checked &&
+                       presolve_plan->verdict.ok;
+    summary.rejected = presolve_plan->verdict.checked &&
+                       !presolve_plan->verdict.ok;
+    presolve_rejected = summary.rejected;
+    if (red.changed() || red.proved_unsat || summary.rejected) {
+      report.presolve = summary;
+    }
+    if (!summary.rejected && !red.proved_unsat && red.changed()) {
+      work = &red.reduced;
+      trace.registry().add("presolve.forced",
+                           static_cast<double>(summary.forced));
+      trace.registry().add("presolve.removed_constraints",
+                           static_cast<double>(summary.removed_constraints));
+    }
+  }
+
+  // Fully decided program: every variable forced, every constraint removed.
+  // The lifted forced assignment is the unique answer consistent with the
+  // hard constraints; no backend needs to run.
+  if (work != &env && work->num_constraints() == 0) {
+    const ReductionTrace& tr = presolve_plan->result.trace;
+    report.ran = true;
+    report.truth = {true, tr.soft_always_satisfied};
+    report.best_assignment =
+        tr.lift(std::vector<bool>(work->num_vars(), false));
+    report.best_quality = Quality::kOptimal;
+    report.num_samples = 1;
+    report.counts.optimal = 1;
+    obs::count(&trace, "presolve.short_circuit");
+    return;
+  }
+
   // Static analysis runs before any backend (or even ground-truth) work:
   // error diagnostics are sound proofs that the solve cannot succeed. In
   // chain mode a rung-specific error is survivable (the solve degrades),
@@ -182,13 +276,24 @@ void Solver::solve_impl(const Env& env, BackendKind backend,
       for (BackendKind b : chain) {
         targets.push_back(registry_.find(b)->analysis_target());
       }
-      report.analysis = analyzer_.analyze_chain(env, engine_, targets);
+      report.analysis = analyzer_.analyze_chain(*work, engine_, targets);
     } else {
       report.analysis = analyzer_.analyze(
-          env, engine_, registry_.find(backend)->analysis_target());
+          *work, engine_, registry_.find(backend)->analysis_target());
     }
   }
   analyzer_.options().program.scale_separation = saved_scale_separation;
+  if (presolve_rejected) {
+    report.analysis.add(
+        {Severity::kWarning, DiagCode::kReductionRejected,
+         DiagLocation::program(),
+         "presolve produced a reduction that failed equivalence "
+         "certification; solving the original program (" +
+             presolve_plan->verdict.detail + ")",
+         "this indicates a reduction-catalog bug; `nck_cli simplify` on "
+         "this program reproduces it"});
+    report.analysis.canonicalize();
+  }
   if (report.analysis.has_errors()) {
     fail(report, FailureKind::kAnalysisRejected,
          "static analysis rejected the program: " + report.analysis.summary());
@@ -198,7 +303,7 @@ void Solver::solve_impl(const Env& env, BackendKind backend,
   if (solve_options_.certify) {
     obs::Span certify_span(trace, "certify");
     const backend::Fingerprint key =
-        certificate_key(env, solve_options_.certify_options);
+        certificate_key(*work, solve_options_.certify_options);
     ProgramCertificate cert;
     if (const backend::PlanPtr cached = plan_cache_->find(key)) {
       obs::count(&trace, "plan_cache.hit");
@@ -206,7 +311,7 @@ void Solver::solve_impl(const Env& env, BackendKind backend,
       cert = static_cast<const CertificatePlan&>(*cached).certificate;
     } else {
       obs::count(&trace, "plan_cache.miss");
-      cert = certify_program(env, engine_, solve_options_.certify_options);
+      cert = certify_program(*work, engine_, solve_options_.certify_options);
       // Enumeration happens only on this cold path; the warm-solve test
       // asserts this counter stays flat.
       trace.registry().add("certify.constraints_enumerated",
@@ -215,7 +320,7 @@ void Solver::solve_impl(const Env& env, BackendKind backend,
       plan->certificate = cert;
       plan_cache_->insert(key, std::move(plan));
     }
-    report_certificate(env, cert, solve_options_.certify_options,
+    report_certificate(*work, cert, solve_options_.certify_options,
                        report.analysis);
     report.certificate = std::move(cert);
     if (report.analysis.has_errors()) {
@@ -230,13 +335,13 @@ void Solver::solve_impl(const Env& env, BackendKind backend,
     obs::Span truth_span(trace, "ground_truth");
     backend::Fingerprint truth_key;
     truth_key.mix(std::string("truth"));
-    backend::mix_env(truth_key, env);
+    backend::mix_env(truth_key, *work);
     if (const backend::PlanPtr cached = plan_cache_->find(truth_key)) {
       obs::count(&trace, "plan_cache.hit");
       report.truth = static_cast<const TruthPlan&>(*cached).truth;
     } else {
       obs::count(&trace, "plan_cache.miss");
-      report.truth = ground_truth(env);
+      report.truth = ground_truth(*work);
       auto plan = std::make_shared<TruthPlan>();
       plan->truth = report.truth;
       plan_cache_->insert(truth_key, std::move(plan));
@@ -333,7 +438,7 @@ void Solver::solve_impl(const Env& env, BackendKind backend,
         obs::Span span(trace, be.name());
 
         backend::PrepareContext pctx;
-        pctx.env = &env;
+        pctx.env = work;
         pctx.engine = &engine_;
         pctx.trace = &trace;
         pctx.device = active_device;
@@ -437,6 +542,19 @@ void Solver::solve_impl(const Env& env, BackendKind backend,
   log.total_wait_ms = clock.wait_ms();
 
   if (!report.ran) fail(report, last_failure, last_detail);
+
+  // Lift the reduced-space result back to original space: forced variables
+  // take their substituted values, dropped variables default to FALSE, and
+  // the ground-truth soft optimum regains the statically-decided softs.
+  if (work != &env) {
+    const ReductionTrace& tr = presolve_plan->result.trace;
+    if (report.ran) {
+      report.best_assignment = tr.lift(report.best_assignment);
+    }
+    if (report.truth.feasible) {
+      report.truth.best_soft_satisfied += tr.soft_always_satisfied;
+    }
+  }
 }
 
 }  // namespace nck

@@ -20,6 +20,7 @@
 
 #include "analysis/analyzer.hpp"
 #include "analysis/certify.hpp"
+#include "analysis/reduce/reduce.hpp"
 #include "anneal/backend.hpp"
 #include "backend/plan_cache.hpp"
 #include "backend/registry.hpp"
@@ -43,6 +44,18 @@ struct SolveOptions {
   /// NCK-V001/V002 successors.
   bool certify = false;
   CertifyOptions certify_options;
+  /// Run the abstract-interpretation presolve (analysis/dataflow +
+  /// analysis/reduce) ahead of analysis and synthesis. On by default
+  /// (opt-out). The solver then operates entirely on the reduced program —
+  /// analysis, certification, ground truth, backend plan keys — and the
+  /// recorded ReductionTrace lifts samples back to original-space
+  /// assignments in the report. A reduction that fails its equivalence
+  /// certification is rejected (NCK-D004 warning) and the original program
+  /// is solved instead. A presolve-proved-unsat program is analyzed in its
+  /// original form so the rejection carries the usual NCK-P001/P002/D003
+  /// diagnostics.
+  bool presolve = true;
+  ReduceOptions reduce_options;
 };
 
 struct SolveReport {
@@ -63,8 +76,14 @@ struct SolveReport {
   /// warnings and notes ride along on successful solves.
   AnalysisReport analysis;
   /// Semantic certification artifact; engaged only when
-  /// SolveOptions::certify was on (including cache-recalled solves).
+  /// SolveOptions::certify was on (including cache-recalled solves). When
+  /// presolve changed the program, the certificate covers the *reduced*
+  /// form (the one actually dispatched).
   std::optional<ProgramCertificate> certificate;
+  /// Presolve statistics; engaged only when SolveOptions::presolve ran and
+  /// did something (reduced the program, proved it unsat, or was rejected).
+  /// Identity presolves leave it disengaged.
+  std::optional<PresolveSummary> presolve;
   GroundTruth truth;         // classical ground truth used to classify
   /// Best sample (by classification then energy order of the backend).
   std::vector<bool> best_assignment;

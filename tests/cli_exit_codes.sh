@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
-# Exit-code contract of `nck_cli lint` and `nck_cli certify`:
-#   0  no error-severity diagnostic
-#   1  error diagnostics (program provably broken)
+# Exit-code contract of `nck_cli lint` / `nck_cli certify` / `nck_cli
+# simplify`:
+#   0  no error-severity diagnostic (simplify: sound, possibly identity,
+#      reduction)
+#   1  error diagnostics / program provably broken (simplify: presolve
+#      proved unsat, or the reduction failed equivalence certification)
 #   2  the analysis could not run (unreadable/unparsable input, bad usage)
 # Run by ctest as: cli_exit_codes.sh <path-to-nck_cli>
 set -u
@@ -53,6 +56,34 @@ expect 1 "certify drowned gaps (V001)"   "$CLI" certify --hard-margin=0 "$TMP/cl
 expect 2 "certify unreadable file"       "$CLI" certify "$TMP/missing.nck"
 expect 2 "certify unparsable program"    "$CLI" certify "$TMP/garbage.nck"
 expect 2 "certify bad usage"             "$CLI" certify
+
+cat > "$TMP/reducible.nck" <<'EOF'
+# unit veto pins b FALSE; presolve substitutes it away
+nck({a, b}, {0, 1}) /\ nck({b}, {0})
+nck({a}, {1}, soft)
+EOF
+
+expect 0 "simplify clean program"        "$CLI" simplify "$TMP/clean.nck"
+expect 0 "simplify reducible program"    "$CLI" simplify "$TMP/reducible.nck"
+expect 1 "simplify unsat program"        "$CLI" simplify "$TMP/broken.nck"
+expect 2 "simplify unreadable file"      "$CLI" simplify "$TMP/missing.nck"
+expect 2 "simplify unparsable program"   "$CLI" simplify "$TMP/garbage.nck"
+expect 2 "simplify bad usage"            "$CLI" simplify
+expect 2 "simplify empty emit path"      "$CLI" simplify --emit= "$TMP/clean.nck"
+
+# simplify --emit writes a reduced program this tool itself can lint, and
+# --json records matching original/reduced ground truths.
+expect 0 "simplify --emit reduced form"  "$CLI" simplify --emit="$TMP/reduced.nck" "$TMP/reducible.nck"
+expect 0 "lint emitted reduced form"     "$CLI" lint "$TMP/reduced.nck"
+"$CLI" simplify --json "$TMP/reducible.nck" > "$TMP/simplify.json"
+if ! grep -q '"changed":true' "$TMP/simplify.json" ||
+   ! grep -q '"verification":{"checked":true,"ok":true' "$TMP/simplify.json" ||
+   ! grep -q '"truth":{"checked":true' "$TMP/simplify.json"; then
+  echo "FAIL: simplify --json document missing reduction/verdict/truth keys" >&2
+  fails=$((fails + 1))
+else
+  echo "ok: simplify --json document shape"
+fi
 
 # The certify --json document must carry both the artifact and the report.
 "$CLI" certify --json "$TMP/clean.nck" > "$TMP/cert.json"

@@ -90,6 +90,11 @@ TEST(AnalysisDiagnostics, CodeNamesAreStable) {
   EXPECT_STREQ(diag_code_name(DiagCode::kCertificationFailed), "NCK-V000");
   EXPECT_STREQ(diag_code_name(DiagCode::kGapDominatedBySoft), "NCK-V001");
   EXPECT_STREQ(diag_code_name(DiagCode::kGapMarginThin), "NCK-V002");
+  EXPECT_STREQ(diag_code_name(DiagCode::kForcedVariable), "NCK-D000");
+  EXPECT_STREQ(diag_code_name(DiagCode::kSubsumedConstraint), "NCK-D001");
+  EXPECT_STREQ(diag_code_name(DiagCode::kIndependentComponents), "NCK-D002");
+  EXPECT_STREQ(diag_code_name(DiagCode::kPresolveUnsat), "NCK-D003");
+  EXPECT_STREQ(diag_code_name(DiagCode::kReductionRejected), "NCK-D004");
 }
 
 TEST(AnalysisDiagnostics, ConstraintSetLocationRendersAndSerializes) {

@@ -348,6 +348,86 @@ TEST(ResilientSolve, FallbackToClassicalLandsTheSolve) {
   EXPECT_EQ(attempts.back().failure, FailureKind::kNone);
 }
 
+// ------------------------------------------------- presolve under faults
+
+/// Presolve-reducible program: c is forced TRUE, its soft is decided, and
+/// the backend sees only {a, b}. The lift must hold up whatever the fault
+/// schedule does to the attempt that finally lands.
+Env reducible_problem() {
+  Env env;
+  const VarId a = env.var("a"), b = env.var("b"), c = env.var("c");
+  env.nck({a, b, c}, {1, 2});
+  env.nck({c}, {1});
+  env.prefer_true(c);
+  env.prefer_false(a);
+  return env;
+}
+
+TEST(ResilientSolve, PresolvedSolveRecoversByReembedding) {
+  Solver solver(42);
+  solver.annealer_options().sampler.num_reads = 30;
+  ResilienceOptions opts;
+  opts.faults = FaultPlan::parse("dead:2@1");
+  opts.retry.max_retries = 2;
+  opts.retry.backoff_initial_ms = 5.0;
+  solver.resilience_options() = opts;
+
+  const SolveReport report =
+      solver.solve(reducible_problem(), BackendKind::kAnnealer);
+  ASSERT_TRUE(report.ran) << report.failure_message();
+  EXPECT_EQ(report.resilience.reembeds, 1u);
+  ASSERT_TRUE(report.presolve.has_value());
+  EXPECT_EQ(report.presolve->forced, 1u);
+  // The recovered samples are reduced-space; the report is original-space.
+  ASSERT_EQ(report.best_assignment.size(), 3u);
+  EXPECT_TRUE(report.best_assignment[2]);              // forced c
+  EXPECT_EQ(report.truth.best_soft_satisfied, 2u);     // decided soft counted
+  EXPECT_EQ(report.best_quality, Quality::kOptimal);
+}
+
+TEST(ResilientSolve, ChaosSchedulePreservesPresolvedLift) {
+  // The CI chaos schedule (reject@1, dead:2@2) against the reduced program:
+  // rejection retried, dead qubits re-embedded, and the surviving samples
+  // still lift back with the forced value and the soft offset intact.
+  Solver solver(42);
+  solver.annealer_options().sampler.num_reads = 30;
+  ResilienceOptions opts;
+  opts.faults = FaultPlan::chaos_default();
+  opts.retry.max_retries = 3;
+  opts.retry.backoff_initial_ms = 5.0;
+  solver.resilience_options() = opts;
+
+  const SolveReport report =
+      solver.solve(reducible_problem(), BackendKind::kAnnealer);
+  ASSERT_TRUE(report.ran) << report.failure_message();
+  EXPECT_GE(report.resilience.attempts.size(), 2u);
+  ASSERT_TRUE(report.presolve.has_value());
+  EXPECT_TRUE(report.best_assignment[2]);
+  EXPECT_EQ(report.truth.best_soft_satisfied, 2u);
+  EXPECT_EQ(report.best_quality, Quality::kOptimal);
+}
+
+TEST(ResilientSolve, PresolvedSolveFallsBackWithLiftIntact) {
+  Solver solver(42);
+  solver.annealer_options().sampler.num_reads = 30;
+  ResilienceOptions opts;
+  opts.faults = FaultPlan::parse("reject");  // annealer never succeeds
+  opts.retry.max_retries = 1;
+  opts.retry.backoff_initial_ms = 5.0;
+  opts.fallback = std::vector<BackendKind>{BackendKind::kClassical};
+  solver.resilience_options() = opts;
+
+  const SolveReport report =
+      solver.solve(reducible_problem(), BackendKind::kAnnealer);
+  ASSERT_TRUE(report.ran) << report.failure_message();
+  EXPECT_EQ(report.backend, BackendKind::kClassical);
+  EXPECT_EQ(report.resilience.fallbacks, 1u);
+  ASSERT_TRUE(report.presolve.has_value());
+  EXPECT_TRUE(report.best_assignment[2]);
+  EXPECT_EQ(report.truth.best_soft_satisfied, 2u);
+  EXPECT_EQ(report.best_quality, Quality::kOptimal);
+}
+
 TEST(ResilientSolve, CircuitExecutionErrorRetried) {
   Solver solver(42);
   solver.circuit_options().qaoa.shots = 600;
