@@ -21,11 +21,16 @@
 #include <string>
 #include <vector>
 
+#include "anneal/packed.hpp"
 #include "graph/generators.hpp"
 #include "problems/max_cut.hpp"
 #include "problems/vertex_cover.hpp"
+#include "qubo/heuristic.hpp"
+#include "qubo/ising.hpp"
 #include "runtime/pool.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 
 using namespace nck;
 
@@ -65,6 +70,75 @@ double solve_batch_ms(SolverPool& pool, const std::vector<Env>& envs) {
               << " tasks solved\n";
   }
   return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+/// Before/after timing of the annealing hot loop itself: the retired scalar
+/// per-read path (QUBO conversion + adjacency-list Metropolis, what
+/// sample_annealer ran before the packed kernel) against the bit-packed
+/// parallel-tempering kernel, on an embedded-problem-density random Ising
+/// with an equal total sweep budget per read.
+struct KernelTimings {
+  std::string label;
+  std::size_t num_spins = 0;
+  std::size_t num_reads = 0;
+  std::size_t num_sweeps = 0;
+  double scalar_ms = 0.0;
+  double packed_ms = 0.0;
+  double speedup = 0.0;
+};
+
+KernelTimings kernel_study(const std::string& label, const Graph& g) {
+  KernelTimings k;
+  k.label = label;
+  k.num_spins = g.num_vertices();
+  k.num_reads = 20;
+  k.num_sweeps = 1024;
+
+  Rng gen(99);
+  IsingModel ising;
+  ising.h.resize(k.num_spins);
+  for (double& h : ising.h) h = gen.uniform(-1.0, 1.0);
+  for (const Graph::Edge& e : g.edges()) {
+    ising.j.emplace_back(e.first, e.second, gen.uniform(-1.0, 1.0));
+  }
+
+  // Scalar "before": per read, convert to QUBO and run the adjacency-list
+  // annealer — exactly what each sampler read used to cost.
+  AnnealParams params;
+  params.num_sweeps = k.num_sweeps;
+  params.beta_initial = 0.05;
+  params.beta_final = 6.0;
+  Rng scalar_rng(7);
+  Timer scalar_timer;
+  double scalar_best = 0.0;
+  for (std::size_t r = 0; r < k.num_reads; ++r) {
+    const Qubo q = ising_to_qubo(ising);
+    const Sample s = anneal_once(q, params, scalar_rng);
+    if (r == 0 || s.energy < scalar_best) scalar_best = s.energy;
+  }
+  k.scalar_ms = scalar_timer.milliseconds();
+
+  // Packed "after": the CSR program is built once per problem (as in
+  // sample_annealer) and each read reuses a workspace.
+  const PackedIsing packed(ising);
+  PackedWorkspace workspace(packed);
+  workspace.load_clean();
+  TemperingOptions options;
+  options.num_sweeps = k.num_sweeps;
+  Rng packed_rng(7);
+  Timer packed_timer;
+  double packed_best = 0.0;
+  for (std::size_t r = 0; r < k.num_reads; ++r) {
+    const PackedState& state = workspace.anneal(options, packed_rng);
+    if (r == 0 || state.energy < packed_best) packed_best = state.energy;
+  }
+  k.packed_ms = packed_timer.milliseconds();
+  k.speedup = k.packed_ms > 0.0 ? k.scalar_ms / k.packed_ms : 0.0;
+
+  // Sanity line (offset is zero, so QUBO and packed energies compare 1:1).
+  std::cout << "kernel [" << label << "]: best energy scalar " << scalar_best
+            << " vs packed " << packed_best << "\n";
+  return k;
 }
 
 }  // namespace
@@ -123,6 +197,29 @@ int main(int argc, char** argv) {
   }
   scaling.print(std::cout);
 
+  // --- annealing kernel: scalar adjacency loop vs packed tempering ------
+  // Two density regimes: a degree-12 circulant at embedded-problem density
+  // (chain-heavy minor embeddings on Pegasus have physical degree <= 15),
+  // and a complete graph at logical density (NchooseK constraint blocks are
+  // cliques, the regime the heuristic solver and boltzmann surrogate run).
+  std::cout << "\n=== Annealing kernel: scalar vs bit-packed ===\n\n";
+  const std::vector<KernelTimings> kernels = {
+      kernel_study("embedded-density", circulant_graph(128, std::size_t{12})),
+      kernel_study("logical-clique", complete_graph(96)),
+  };
+  Table kernel_table({"problem", "scalar(ms)", "packed(ms)", "speedup"});
+  for (const KernelTimings& k : kernels) {
+    kernel_table.row()
+        .cell(k.label)
+        .cell(k.scalar_ms, 2)
+        .cell(k.packed_ms, 2)
+        .cell(format_double(k.speedup, 2) + "x");
+  }
+  kernel_table.print(std::cout);
+  std::cout << "\n(per problem: " << kernels[0].num_reads << " reads x "
+            << kernels[0].num_sweeps
+            << " total sweeps, equal budget both kernels)\n";
+
   std::ofstream out(out_path);
   if (!out) {
     std::cerr << "bench_batch: cannot write " << out_path << "\n";
@@ -138,6 +235,16 @@ int main(int argc, char** argv) {
     if (i) out << ",";
     out << "{\"threads\":" << thread_counts[i] << ",\"ms\":" << scaling_ms[i]
         << ",\"speedup_vs_1\":" << scaling_ms[0] / scaling_ms[i] << "}";
+  }
+  out << "],\"kernel\":[";
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    const KernelTimings& k = kernels[i];
+    if (i) out << ",";
+    out << "{\"problem\":\"" << k.label << "\",\"num_spins\":" << k.num_spins
+        << ",\"num_reads\":" << k.num_reads
+        << ",\"num_sweeps\":" << k.num_sweeps
+        << ",\"scalar_ms\":" << k.scalar_ms << ",\"packed_ms\":" << k.packed_ms
+        << ",\"speedup\":" << k.speedup << "}";
   }
   out << "]}\n";
   std::cout << "\nwrote " << out_path << "\n";

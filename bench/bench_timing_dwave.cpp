@@ -15,13 +15,76 @@
 #include <vector>
 
 #include "anneal/backend.hpp"
+#include "anneal/packed.hpp"
 #include "anneal/topology.hpp"
 #include "graph/generators.hpp"
 #include "obs/json.hpp"
 #include "problems/vertex_cover.hpp"
+#include "qubo/heuristic.hpp"
+#include "qubo/ising.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 
 using namespace nck;
+
+namespace {
+
+/// Before/after sweep-kernel timing at true hardware density: a random
+/// +-1 Ising over a Chimera C4 working graph (degree <= 6, the density of
+/// the physical programs this bench's jobs run), scalar adjacency-list
+/// annealing versus the bit-packed tempering kernel, equal sweep budget.
+struct KernelTimings {
+  std::size_t num_spins = 0;
+  std::size_t num_reads = 0;
+  std::size_t num_sweeps = 0;
+  double scalar_ms = 0.0;
+  double packed_ms = 0.0;
+  double speedup = 0.0;
+};
+
+KernelTimings chimera_kernel_study() {
+  KernelTimings k;
+  k.num_reads = 10;
+  k.num_sweeps = 1024;
+
+  const Graph g = chimera_graph(4, 4, 4);
+  k.num_spins = g.num_vertices();
+  Rng gen(2023);
+  IsingModel ising;
+  ising.h.resize(k.num_spins);
+  for (double& h : ising.h) h = gen.uniform(-1.0, 1.0);
+  for (const Graph::Edge& e : g.edges()) {
+    ising.j.emplace_back(e.first, e.second, gen.bernoulli(0.5) ? 1.0 : -1.0);
+  }
+
+  AnnealParams params;
+  params.num_sweeps = k.num_sweeps;
+  params.beta_initial = 0.05;
+  params.beta_final = 6.0;
+  Rng scalar_rng(3);
+  Timer scalar_timer;
+  for (std::size_t r = 0; r < k.num_reads; ++r) {
+    const Qubo q = ising_to_qubo(ising);
+    anneal_once(q, params, scalar_rng);
+  }
+  k.scalar_ms = scalar_timer.milliseconds();
+
+  const PackedIsing packed(ising);
+  PackedWorkspace workspace(packed);
+  workspace.load_clean();
+  TemperingOptions options;
+  options.num_sweeps = k.num_sweeps;
+  Rng packed_rng(3);
+  Timer packed_timer;
+  for (std::size_t r = 0; r < k.num_reads; ++r) {
+    workspace.anneal(options, packed_rng);
+  }
+  k.packed_ms = packed_timer.milliseconds();
+  k.speedup = k.packed_ms > 0.0 ? k.scalar_ms / k.packed_ms : 0.0;
+  return k;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   bool emit_json = false;
@@ -91,6 +154,22 @@ int main(int argc, char** argv) {
   }
   client.print(std::cout);
 
+  // Sweep-kernel before/after at hardware density.
+  std::cout << "\n=== Annealing kernel (Chimera C4 density) ===\n\n";
+  const KernelTimings kernel = chimera_kernel_study();
+  Table kernel_table({"kernel", "wall(ms)", "speedup"});
+  kernel_table.row()
+      .cell("scalar per-read (old sampler path)")
+      .cell(kernel.scalar_ms, 2)
+      .cell("1.00x");
+  kernel_table.row()
+      .cell("packed tempering (anneal/packed.hpp)")
+      .cell(kernel.packed_ms, 2)
+      .cell(format_double(kernel.speedup, 2) + "x");
+  kernel_table.print(std::cout);
+  std::cout << "\n(" << kernel.num_reads << " reads x " << kernel.num_sweeps
+            << " sweeps, " << kernel.num_spins << "-qubit Chimera program)\n";
+
   if (emit_json) {
     std::ofstream out(out_path);
     if (!out) {
@@ -104,7 +183,12 @@ int main(int argc, char** argv) {
       obs::write_trace(out, traces[i].second);
       out << "}";
     }
-    out << "]}\n";
+    out << "],\"kernel\":{\"num_spins\":" << kernel.num_spins
+        << ",\"num_reads\":" << kernel.num_reads
+        << ",\"num_sweeps\":" << kernel.num_sweeps
+        << ",\"scalar_ms\":" << kernel.scalar_ms
+        << ",\"packed_ms\":" << kernel.packed_ms
+        << ",\"speedup\":" << kernel.speedup << "}}\n";
     std::cout << "\nwrote " << traces.size() << " trace(s) to " << out_path
               << "\n";
   }

@@ -3,7 +3,8 @@
 // chosen backend, or statically analyzes it without running anything.
 //
 //   nck_cli [solve] [--backend=classical|annealer|circuit] [--seed=N]
-//           [--reads=N] [--shots=N] [--trace[=table|json]]
+//           [--reads=N] [--sweeps=N] [--replicas=N] [--shots=N]
+//           [--trace[=table|json]]
 //           [--faults=SPEC] [--fault-seed=N] [--max-retries=N]
 //           [--deadline-ms=X] [--fallback=b1,b2,...] <program-file|->
 //   nck_cli solve --batch [--backend=...|portfolio] [--threads=N]
@@ -91,7 +92,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: nck_cli [solve] [--backend=classical|annealer|circuit] "
-               "[--seed=N] [--reads=N] [--shots=N] [--trace[=table|json]] "
+               "[--seed=N] [--reads=N] [--sweeps=N] [--replicas=N] "
+               "[--shots=N] [--trace[=table|json]] "
                "[--faults=SPEC] [--fault-seed=N] [--max-retries=N] "
                "[--deadline-ms=X] [--fallback=b1,b2,...] <program-file|->\n"
                "       nck_cli solve --batch [--backend=...|portfolio] "
@@ -448,6 +450,7 @@ int main(int argc, char** argv) {
   BackendKind backend = BackendKind::kClassical;
   std::uint64_t seed = 1234;
   std::size_t reads = 100, shots = 4000;
+  std::size_t sweeps = 0, replicas = 0;  // 0 = sampler defaults
   enum class TraceMode { kOff, kTable, kJson };
   TraceMode trace_mode = TraceMode::kOff;
   ResilienceOptions resilience;
@@ -474,6 +477,10 @@ int main(int argc, char** argv) {
       seed = std::stoull(arg.substr(7));
     } else if (arg.rfind("--reads=", 0) == 0) {
       reads = std::stoull(arg.substr(8));
+    } else if (arg.rfind("--sweeps=", 0) == 0) {
+      sweeps = std::stoull(arg.substr(9));
+    } else if (arg.rfind("--replicas=", 0) == 0) {
+      replicas = std::stoull(arg.substr(11));
     } else if (arg.rfind("--shots=", 0) == 0) {
       shots = std::stoull(arg.substr(8));
     } else if (arg == "--trace" || arg == "--trace=table") {
@@ -529,6 +536,8 @@ int main(int argc, char** argv) {
     options.num_threads = threads;
     options.seed = seed;
     options.annealer.sampler.num_reads = reads;
+    if (sweeps > 0) options.annealer.sampler.num_sweeps = sweeps;
+    if (replicas > 0) options.annealer.sampler.num_replicas = replicas;
     options.circuit.qaoa.shots = shots;
     if (resilience.active()) options.resilience = resilience;
     SolverPool pool(options);
@@ -584,6 +593,8 @@ int main(int argc, char** argv) {
 
   Solver solver(seed);
   solver.annealer_options().sampler.num_reads = reads;
+  if (sweeps > 0) solver.annealer_options().sampler.num_sweeps = sweeps;
+  if (replicas > 0) solver.annealer_options().sampler.num_replicas = replicas;
   solver.circuit_options().qaoa.shots = shots;
   solver.resilience_options() = resilience;
   const SolveReport report = solver.solve(env, backend);

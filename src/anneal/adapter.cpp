@@ -32,6 +32,10 @@ bool AnnealAdapter::validate(std::string* why) const {
   };
   if (s.num_reads == 0) return reject("annealer num_reads must be > 0");
   if (s.num_sweeps == 0) return reject("annealer num_sweeps must be > 0");
+  if (s.num_replicas == 0) return reject("annealer num_replicas must be > 0");
+  if (s.exchange_interval == 0) {
+    return reject("annealer exchange_interval must be > 0");
+  }
   const DWaveTimingModel& t = s.timing_model;
   std::string timing_why;
   if (!finite_nonnegative(t.anneal_us, "anneal_us", &timing_why) ||

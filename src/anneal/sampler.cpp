@@ -5,19 +5,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include "anneal/packed.hpp"
 #include "qubo/ising.hpp"
 
 namespace nck {
 namespace {
-
-IsingModel perturbed(const IsingModel& ising, double sigma_abs, Rng& rng) {
-  IsingModel noisy = ising;
-  if (sigma_abs > 0.0) {
-    for (double& h : noisy.h) h += rng.gaussian(0.0, sigma_abs);
-    for (auto& [a, b, c] : noisy.j) c += rng.gaussian(0.0, sigma_abs);
-  }
-  return noisy;
-}
 
 double max_abs_coefficient(const IsingModel& ising) {
   double m = 0.0;
@@ -39,75 +31,72 @@ AnnealSampleResult sample_annealer(const IsingModel& logical,
   const double scale = max_abs_coefficient(problem.ising);
   const double sigma = options.ice_sigma * scale;
 
+  // Per-read streams split serially from the master before the parallel
+  // region: read r's gauge, noise, anneal, readout, and chain-tie draws all
+  // come from streams[r], so the schedule (and thread count) cannot change
+  // any read's outcome.
   std::vector<Rng> streams;
   streams.reserve(options.num_reads);
   for (std::size_t r = 0; r < options.num_reads; ++r) {
     streams.push_back(rng.split());
   }
 
-  AnnealParams params;
-  params.num_sweeps = options.num_sweeps;
-  params.beta_initial = options.beta_initial;
-  params.beta_final = options.beta_final;
+  const PackedIsing packed(problem.ising);
+  TemperingOptions tempering;
+  tempering.num_replicas = options.num_replicas;
+  tempering.num_sweeps = options.num_sweeps;
+  tempering.exchange_interval = options.exchange_interval;
+  tempering.beta_initial = options.beta_initial;
+  tempering.beta_final = options.beta_final;
 
   const Qubo logical_qubo =
       options.postprocess ? ising_to_qubo(logical) : Qubo();
 
-#pragma omp parallel for schedule(dynamic)
-  for (std::int64_t r = 0; r < static_cast<std::int64_t>(options.num_reads);
-       ++r) {
-    Rng& stream = streams[static_cast<std::size_t>(r)];
-    // Spin-reversal transform: gauge the clean program first; the control
-    // errors then act on the gauged program, so their effective sign
-    // pattern varies per read instead of biasing every read identically.
-    std::vector<bool> gauge(problem.ising.num_spins(), false);
-    IsingModel gauged = problem.ising;
-    if (options.spin_reversal_transform) {
-      for (std::size_t q = 0; q < gauge.size(); ++q) {
-        gauge[q] = stream.bernoulli(0.5);
-        if (gauge[q]) gauged.h[q] = -gauged.h[q];
+#pragma omp parallel
+  {
+    // One workspace per thread: the packed program coefficients and the
+    // replica ensemble are reused across that thread's reads, so the hot
+    // loop is allocation-free after the first read.
+    PackedWorkspace workspace(packed);
+    std::vector<bool> physical(packed.num_spins());
+#pragma omp for schedule(dynamic)
+    for (std::int64_t r = 0; r < static_cast<std::int64_t>(options.num_reads);
+         ++r) {
+      Rng& stream = streams[static_cast<std::size_t>(r)];
+      // Spin-reversal transform gauges the clean program first; the ICE
+      // control errors then act on the gauged program, so their effective
+      // sign pattern varies per read instead of biasing every read
+      // identically. Like the hardware, the program is auto-scaled to the
+      // unit coefficient range so the temperature ladder is meaningful
+      // regardless of problem scale.
+      workspace.load_program(options.spin_reversal_transform, sigma, scale,
+                             stream);
+      const PackedState& best = workspace.anneal(tempering, stream);
+      // Readout errors flip individual qubits after the anneal; then the
+      // gauge is undone.
+      for (std::size_t q = 0; q < physical.size(); ++q) {
+        bool bit = best.up(q);
+        if (stream.bernoulli(options.readout_error)) bit = !bit;
+        if (workspace.gauge_bit(q)) bit = !bit;
+        physical[q] = bit;
       }
-      for (auto& [a, b, c] : gauged.j) {
-        if (gauge[a] != gauge[b]) c = -c;
+      AnnealRead& read = result.reads[static_cast<std::size_t>(r)];
+      read.read_index = static_cast<std::size_t>(r);
+      UnembedStats unembed_stats;
+      read.logical = unembed_sample(physical, problem, &unembed_stats, &stream);
+      read.chain_breaks = unembed_stats.chain_breaks;
+      read.chain_ties = unembed_stats.ties;
+      if (options.postprocess) {
+        read.logical = greedy_descent(logical_qubo, read.logical).x;
       }
+      read.logical_energy = logical.energy(read.logical);
     }
-    // Per-read control-error perturbation, then a classical relaxation of
-    // the perturbed physical program. Like the hardware, the program is
-    // auto-scaled to the unit coefficient range first, so the annealing
-    // temperature schedule is meaningful regardless of problem scale.
-    IsingModel noisy = perturbed(gauged, sigma, stream);
-    if (scale > 0.0) {
-      for (double& h : noisy.h) h /= scale;
-      for (auto& [a, b, c] : noisy.j) c /= scale;
-      noisy.offset /= scale;
-    }
-    const Qubo physical_qubo = ising_to_qubo(noisy);
-    Sample physical = anneal_once(physical_qubo, params, stream);
-    // Readout errors flip individual qubits after the anneal; then the
-    // gauge is undone.
-    for (std::size_t q = 0; q < physical.x.size(); ++q) {
-      if (stream.bernoulli(options.readout_error)) {
-        physical.x[q] = !physical.x[q];
-      }
-      if (options.spin_reversal_transform && gauge[q]) {
-        physical.x[q] = !physical.x[q];
-      }
-    }
-    AnnealRead& read = result.reads[static_cast<std::size_t>(r)];
-    UnembedStats unembed_stats;
-    read.logical = unembed_sample(physical.x, problem, &unembed_stats, &stream);
-    read.chain_breaks = unembed_stats.chain_breaks;
-    read.chain_ties = unembed_stats.ties;
-    if (options.postprocess) {
-      read.logical = greedy_descent(logical_qubo, read.logical).x;
-    }
-    read.logical_energy = logical.energy(read.logical);
   }
 
-  std::sort(result.reads.begin(), result.reads.end(),
-            [](const AnnealRead& a, const AnnealRead& b) {
-              return a.logical_energy < b.logical_energy;
-            });
+  std::stable_sort(result.reads.begin(), result.reads.end(),
+                   [](const AnnealRead& a, const AnnealRead& b) {
+                     return a.logical_energy < b.logical_energy;
+                   });
 
   result.timing.num_reads = options.num_reads;
   result.timing.programming_us = options.timing_model.programming_us;
@@ -139,6 +128,8 @@ AnnealSampleResult sample_annealer(const IsingModel& logical,
                       static_cast<double>(options.num_reads * num_chains)
                 : 0.0);
     reg.set("anneal.ice_sigma", sigma);
+    reg.set("anneal.replicas",
+            static_cast<double>(std::max<std::size_t>(1, options.num_replicas)));
     trace->record_modeled("device.programming", result.timing.programming_us);
     trace->record_modeled("device.sampling", result.timing.sampling_us);
     trace->record_modeled("device.postprocess", result.timing.postprocess_us);

@@ -15,7 +15,14 @@ namespace nck {
 
 struct AnnealerSamplerOptions {
   std::size_t num_reads = 100;   // the paper's D-Wave sample count
-  std::size_t num_sweeps = 1024; // Metropolis sweeps per read
+  std::size_t num_sweeps = 1024; // total Metropolis sweep budget per read
+  /// Parallel-tempering ladder width of the packed kernel (anneal/packed.hpp):
+  /// each read runs this many replicas at fixed inverse temperatures between
+  /// beta_initial and beta_final, splitting `num_sweeps` evenly across them.
+  /// 1 disables tempering in favor of a single-replica geometric beta ramp.
+  std::size_t num_replicas = 8;
+  /// Sweeps between replica-exchange rounds of the tempering ladder.
+  std::size_t exchange_interval = 16;
   double beta_initial = 0.05;
   double beta_final = 6.0;
   /// ICE noise: stddev of the Gaussian perturbation applied to each h and J,
@@ -38,6 +45,11 @@ struct AnnealRead {
   double logical_energy = 0.0;
   std::size_t chain_breaks = 0;
   std::size_t chain_ties = 0;  // broken chains resolved by a coin flip
+  /// Pre-sort position of this read (its per-read RNG stream index). Every
+  /// draw of read r comes from stream r, so reads with equal read_index are
+  /// comparable across runs that differ only in thread count or
+  /// postprocessing — the determinism-regression tests pair reads by it.
+  std::size_t read_index = 0;
 };
 
 struct AnnealSampleResult {

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "circuit/diagonal.hpp"
+
 namespace nck {
 
 std::size_t OneHotGroups::num_qubits() const {
@@ -67,8 +69,9 @@ Circuit build_aoa_circuit(const IsingModel& conflict_cost,
       if (j != 0.0) circuit.rzz(a, b, 2.0 * gamma * j);
     }
     for (std::uint32_t q = 0; q < n; ++q) {
+      // theta = -2 gamma h for e^{-i gamma h s}; see build_qaoa_circuit.
       if (conflict_cost.h[q] != 0.0) {
-        circuit.rz(q, 2.0 * gamma * conflict_cost.h[q]);
+        circuit.rz(q, -2.0 * gamma * conflict_cost.h[q]);
       }
     }
     // XY ring mixer per group (a single XY suffices for pairs).
@@ -116,11 +119,34 @@ QaoaResult run_aoa(const Qubo& conflict_qubo, const Qubo& eval_qubo,
                            transpiled->physical.num_two_qubit_gates();
   result.fidelity = options.noise.fidelity(n_1q, result.cx_count);
 
+  // Fused phase separator: the conflict Hamiltonian's RZZ/RZ diagonal is a
+  // precomputed table applied in one pass per layer; the W-state prep is
+  // angle-independent, so its circuit is built once outside the optimizer
+  // loop, and only the XY ring mixers run gate-by-gate.
+  const DiagonalCost cost(conflict, n);
+  Circuit prep(n);
+  for (const auto& group : groups.groups) prepare_w_state(prep, group);
+
   auto sample_circuit = [&](const std::vector<double>& params,
                             std::size_t shots) {
-    const Circuit circuit = build_aoa_circuit(conflict, groups, params);
     StateVector state(n);
-    circuit.run(state);
+    prep.run(state);
+    for (std::size_t layer = 0; layer < params.size() / 2; ++layer) {
+      const double gamma = params[2 * layer];
+      const double beta = params[2 * layer + 1];
+      cost.apply(state, gamma);
+      // XY ring mixer per group (a single XY suffices for pairs).
+      for (const auto& group : groups.groups) {
+        const std::size_t k = group.size();
+        if (k < 2) continue;
+        for (std::size_t i = 0; i < k; ++i) {
+          const std::size_t next = (i + 1) % k;
+          if (k == 2 && i == 1) break;  // avoid the duplicate pair edge
+          state.xy(group[i], group[next], 2.0 * beta);
+        }
+      }
+    }
+    state.renormalize();
     const auto basis = state.sample(shots, rng);
     std::vector<std::vector<bool>> out;
     out.reserve(basis.size());

@@ -1,0 +1,64 @@
+#include "circuit/diagonal.hpp"
+
+#include <omp.h>
+
+#include <stdexcept>
+
+namespace nck {
+
+DiagonalCost::DiagonalCost(const IsingModel& ising, std::size_t num_qubits)
+    : num_qubits_(num_qubits) {
+  if (num_qubits > StateVector::kMaxQubits) {
+    throw std::invalid_argument("DiagonalCost: too many qubits");
+  }
+  table_.assign(1ull << num_qubits, 0.0);
+  const std::int64_t dim = static_cast<std::int64_t>(table_.size());
+  // One unit-stride pass per nonzero term: the field h_q adds +-h_q by
+  // bit q, the coupler J_ab adds +-J_ab by the parity of bits a and b.
+  for (std::size_t q = 0; q < ising.h.size(); ++q) {
+    const double hq = ising.h[q];
+    if (hq == 0.0) continue;
+    if (q >= num_qubits) {
+      throw std::invalid_argument("DiagonalCost: field index out of range");
+    }
+    const std::uint64_t qbit = 1ull << q;
+#pragma omp parallel for schedule(static)
+    for (std::int64_t i = 0; i < dim; ++i) {
+      const auto z = static_cast<std::uint64_t>(i);
+      table_[z] += (z & qbit) != 0 ? hq : -hq;
+    }
+  }
+  for (const auto& [a, b, w] : ising.j) {
+    if (w == 0.0) continue;
+    if (a >= num_qubits || b >= num_qubits) {
+      throw std::invalid_argument("DiagonalCost: coupler index out of range");
+    }
+    const std::uint64_t abit = 1ull << a;
+    const std::uint64_t bbit = 1ull << b;
+#pragma omp parallel for schedule(static)
+    for (std::int64_t i = 0; i < dim; ++i) {
+      const auto z = static_cast<std::uint64_t>(i);
+      const bool parity = ((z & abit) != 0) != ((z & bbit) != 0);
+      table_[z] += parity ? -w : w;  // s_a s_b = +1 iff the bits agree
+    }
+  }
+}
+
+void DiagonalCost::apply(StateVector& state, double gamma) const {
+  state.apply_phase_table(table_, gamma);
+}
+
+void DiagonalCost::evolve_qaoa(StateVector& state,
+                               const std::vector<double>& params) const {
+  if (params.size() % 2 != 0 || params.empty()) {
+    throw std::invalid_argument("evolve_qaoa: need 2p parameters");
+  }
+  state.fill_uniform();
+  for (std::size_t layer = 0; layer < params.size() / 2; ++layer) {
+    apply(state, params[2 * layer]);
+    state.rx_layer(2.0 * params[2 * layer + 1]);
+  }
+  state.renormalize();
+}
+
+}  // namespace nck

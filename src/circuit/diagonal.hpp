@@ -1,0 +1,44 @@
+// Fused diagonal cost kernel for QAOA-style circuits (DESIGN.md §3g). The
+// RZZ/RZ layer of each cost step is the diagonal unitary exp(-i gamma H_C),
+// so instead of one state-vector traversal per gate the Ising energy table
+// E(z) is precomputed once per problem and every cost layer becomes a single
+// phase pass; the optimizer's repeated evolutions reuse the same table.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/statevector.hpp"
+#include "qubo/ising.hpp"
+
+namespace nck {
+
+class DiagonalCost {
+ public:
+  /// Tabulates E(z) = sum_q h_q s_q + sum_{a<b} J_ab s_a s_b for every
+  /// basis state z, with bit q of z set meaning s_q = +1 (the repo-wide
+  /// x = (1+s)/2 convention). The model offset is excluded — it is a
+  /// global phase. Throws for num_qubits > StateVector::kMaxQubits or a
+  /// coupler index out of range.
+  DiagonalCost(const IsingModel& ising, std::size_t num_qubits);
+
+  std::size_t num_qubits() const noexcept { return num_qubits_; }
+  const std::vector<double>& table() const noexcept { return table_; }
+
+  /// One fused cost layer: amps[z] *= exp(-i gamma E(z)) — matches the
+  /// per-gate RZZ/RZ sequence of build_qaoa_circuit exactly (up to
+  /// floating-point association).
+  void apply(StateVector& state, double gamma) const;
+
+  /// The full fused QAOA evolution: |+>^n via fill_uniform, then per layer
+  /// one fused cost pass and one vectorized RX mixer layer, then a final
+  /// renormalize to pin ||psi|| against unit-factor drift at deep p.
+  /// params = {gamma_1, beta_1, ..., gamma_p, beta_p}.
+  void evolve_qaoa(StateVector& state, const std::vector<double>& params) const;
+
+ private:
+  std::size_t num_qubits_;
+  std::vector<double> table_;
+};
+
+}  // namespace nck

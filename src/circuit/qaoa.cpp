@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "circuit/diagonal.hpp"
 #include "qubo/heuristic.hpp"
 
 namespace nck {
@@ -29,7 +30,11 @@ Circuit build_qaoa_circuit(const IsingModel& ising,
       if (j != 0.0) circuit.rzz(a, b, 2.0 * gamma * j);
     }
     for (std::uint32_t q = 0; q < n; ++q) {
-      if (ising.h[q] != 0.0) circuit.rz(q, 2.0 * gamma * ising.h[q]);
+      // rz(theta) phases bit 1 (spin +1) by e^{+i theta/2}, so the field
+      // term e^{-i gamma h s} needs theta = -2 gamma h. The old +2 gamma h
+      // evolved under sum J ss - sum h s: flipped field signs that the
+      // optimizer cannot compensate on mixed h+J problems.
+      if (ising.h[q] != 0.0) circuit.rz(q, -2.0 * gamma * ising.h[q]);
     }
     // Mixer layer: e^{-i beta sum X}.
     for (std::uint32_t q = 0; q < n; ++q) circuit.rx(q, 2.0 * beta);
@@ -115,14 +120,18 @@ QaoaResult run_qaoa_prepared(const Qubo& qubo, const QaoaPrepared& prepared,
 
   if (n <= options.max_sim_qubits) {
     result.mode = "statevector";
+    // Fused evolution: the cost layer's RZZ/RZ diagonal collapses into one
+    // precomputed phase table (circuit/diagonal.hpp), built once and shared
+    // by every optimizer evaluation; gate-by-gate circuits are only built
+    // for transpiled metrics above.
+    const DiagonalCost cost(ising, n);
+    StateVector state(n);
     // Shot-based objective: mean sampled energy under the noise channel,
     // exactly what the hardware loop would minimize.
     auto sample_circuit = [&](const std::vector<double>& params,
                               std::size_t shots) {
       obs::count(trace, "statevector.runs");
-      const Circuit circuit = build_qaoa_circuit(ising, params);
-      StateVector state(n);
-      circuit.run(state);
+      cost.evolve_qaoa(state, params);
       const auto basis = state.sample(shots, rng);
       std::vector<std::vector<bool>> out;
       out.reserve(basis.size());

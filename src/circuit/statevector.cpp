@@ -135,6 +135,60 @@ void StateVector::swap(std::size_t a, std::size_t b) {
   }
 }
 
+void StateVector::fill_uniform() {
+  const double a = 1.0 / std::sqrt(static_cast<double>(amps_.size()));
+  const std::int64_t n = static_cast<std::int64_t>(amps_.size());
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) {
+    amps_[static_cast<std::uint64_t>(i)] = Amplitude(a, 0.0);
+  }
+}
+
+void StateVector::apply_phase_table(const std::vector<double>& table,
+                                    double scale) {
+  if (table.size() != amps_.size()) {
+    throw std::invalid_argument("apply_phase_table: table size mismatch");
+  }
+  const std::int64_t n = static_cast<std::int64_t>(amps_.size());
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto idx = static_cast<std::uint64_t>(i);
+    amps_[idx] *= std::polar(1.0, -scale * table[idx]);
+  }
+}
+
+void StateVector::rx_layer(double theta) {
+  const double c = std::cos(theta / 2);
+  const Amplitude ms(0.0, -std::sin(theta / 2));
+  for (std::size_t q = 0; q < num_qubits_; ++q) {
+    const std::uint64_t stride = 1ull << q;
+    const std::int64_t pairs = static_cast<std::int64_t>(amps_.size() >> 1);
+#pragma omp parallel for schedule(static)
+    for (std::int64_t p = 0; p < pairs; ++p) {
+      const auto k = static_cast<std::uint64_t>(p);
+      // Interleave the pair index around bit q: low bits stay, high bits
+      // shift up one, leaving bit q clear for the |0> side of the pair.
+      const std::uint64_t lo = ((k & ~(stride - 1)) << 1) | (k & (stride - 1));
+      const std::uint64_t hi = lo | stride;
+      const Amplitude a0 = amps_[lo];
+      const Amplitude a1 = amps_[hi];
+      amps_[lo] = c * a0 + ms * a1;
+      amps_[hi] = ms * a0 + c * a1;
+    }
+  }
+}
+
+void StateVector::renormalize() {
+  const double total = norm();
+  if (total <= 0.0) return;
+  const double inv = 1.0 / std::sqrt(total);
+  const std::int64_t n = static_cast<std::int64_t>(amps_.size());
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) {
+    amps_[static_cast<std::uint64_t>(i)] *= inv;
+  }
+}
+
 double StateVector::norm() const {
   double total = 0.0;
   const std::int64_t n = static_cast<std::int64_t>(amps_.size());

@@ -44,6 +44,24 @@ class StateVector {
   void xy(std::size_t a, std::size_t b, double theta);
   void swap(std::size_t a, std::size_t b);
 
+  /// Resets to the uniform superposition |+>^n — the QAOA initial state,
+  /// replacing n Hadamard passes with one fill.
+  void fill_uniform();
+
+  /// Fused diagonal layer: amps[z] *= exp(-i * scale * table[z]) in a
+  /// single pass. `table` must have one entry per basis state (the
+  /// DiagonalCost energy table); throws on size mismatch.
+  void apply_phase_table(const std::vector<double>& table, double scale);
+
+  /// Applies rx(theta) to every qubit — the QAOA transverse-field mixer
+  /// layer — iterating amplitude pairs directly (half the index space, no
+  /// per-element branch) instead of one skip-half traversal per gate.
+  void rx_layer(double theta);
+
+  /// Rescales so norm() == 1, pinning the drift of long products of unit
+  /// complex factors (deep-p QAOA); no-op on the zero vector.
+  void renormalize();
+
   /// Sum of |amplitude|^2 (1 for any unitary evolution; tested invariant).
   double norm() const;
 

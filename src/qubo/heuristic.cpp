@@ -53,18 +53,29 @@ void metropolis_sweep(FlipState& s, double beta, Rng& rng) {
 
 }  // namespace
 
+std::vector<double> beta_schedule(const AnnealParams& params) {
+  std::vector<double> betas(params.num_sweeps);
+  if (betas.empty()) return betas;
+  if (betas.size() == 1) {
+    betas[0] = params.beta_final;
+    return betas;
+  }
+  const double log_ratio = std::log(params.beta_final / params.beta_initial);
+  const double denom = static_cast<double>(betas.size() - 1);
+  for (std::size_t k = 0; k < betas.size(); ++k) {
+    betas[k] =
+        params.beta_initial * std::exp(log_ratio * static_cast<double>(k) / denom);
+  }
+  betas.front() = params.beta_initial;
+  betas.back() = params.beta_final;
+  return betas;
+}
+
 Sample anneal_once(const Qubo& q, const AnnealParams& params, Rng& rng) {
   FlipState s(q, random_state(q.num_variables(), rng));
   if (q.num_variables() == 0) return {s.x, s.energy};
-  const double ratio =
-      params.num_sweeps > 1
-          ? std::pow(params.beta_final / params.beta_initial,
-                     1.0 / static_cast<double>(params.num_sweeps - 1))
-          : 1.0;
-  double beta = params.beta_initial;
-  for (std::size_t sweep = 0; sweep < params.num_sweeps; ++sweep) {
+  for (double beta : beta_schedule(params)) {
     metropolis_sweep(s, beta, rng);
-    beta *= ratio;
   }
   // Quench to the nearest local minimum for a clean readout.
   Sample out = greedy_descent(q, std::move(s.x));

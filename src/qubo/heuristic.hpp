@@ -24,6 +24,13 @@ struct Sample {
   double energy = 0.0;
 };
 
+/// Per-sweep inverse-temperature ramp: geometric interpolation from
+/// beta_initial to beta_final with both endpoints exact — the last sweep
+/// runs at beta_final (the previous cumulative-multiplication ramp drifted
+/// off the endpoint, and a single-sweep schedule stayed at beta_initial,
+/// i.e. never annealed). A one-sweep schedule is {beta_final}.
+std::vector<double> beta_schedule(const AnnealParams& params);
+
 /// One simulated-annealing read from a random start. Deterministic given rng.
 Sample anneal_once(const Qubo& q, const AnnealParams& params, Rng& rng);
 

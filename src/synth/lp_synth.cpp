@@ -78,17 +78,23 @@ struct SearchContext {
 
   // Solves the LP with ground-state equalities for valid rows [0, chosen.size())
   // fixed to the given ancilla values. `minimize_l1` adds the L1 objective.
+  // The per-node equalities are pushed onto the persistent base program and
+  // rewound after the solve (mark/rewind scoping) — the DFS never copies the
+  // 2^(d+a)-row inequality block.
   LpResult solve(const std::vector<std::uint32_t>& chosen, bool minimize_l1) {
-    LinearProgram lp = base;
+    const LinearProgram::Mark scope = base.mark();
     const std::size_t d = pattern.num_vars();
     for (std::size_t i = 0; i < chosen.size(); ++i) {
       const std::uint32_t bits = valid[i] | (chosen[i] << d);
-      lp.add_eq(split_row(eval_row(lay, bits)), Rational(0));
+      base.add_eq(split_row(eval_row(lay, bits)), Rational(0));
     }
     if (minimize_l1) {
-      lp.c.assign(lp.num_vars, Rational(1));
+      base.c.assign(base.num_vars, Rational(1));
     }
-    return solve_lp(lp);
+    LpResult result = solve_lp(base);
+    base.rewind(scope);
+    base.c.clear();
+    return result;
   }
 
   // Depth-first search over per-valid-row ancilla ground choices.

@@ -20,6 +20,16 @@ void LinearProgram::add_ge(std::vector<Rational> row, Rational rhs) {
   b_ge.push_back(rhs);
 }
 
+void LinearProgram::rewind(const Mark& m) {
+  if (m.num_eq > a_eq.size() || m.num_ge > a_ge.size()) {
+    throw std::invalid_argument("LinearProgram::rewind: stale mark");
+  }
+  a_eq.resize(m.num_eq);
+  b_eq.resize(m.num_eq);
+  a_ge.resize(m.num_ge);
+  b_ge.resize(m.num_ge);
+}
+
 namespace {
 
 // Dense rational tableau. Layout: `a` is m x n, basis[i] is the basic

@@ -35,6 +35,18 @@ struct LinearProgram {
 
   void add_eq(std::vector<Rational> row, Rational rhs);
   void add_ge(std::vector<Rational> row, Rational rhs);
+
+  /// Push/pop-style row scoping for incremental reuse: mark() remembers the
+  /// current row counts, rewind() drops every row added since. The LP
+  /// synthesizer's DFS appends its per-node ground-state equalities to one
+  /// persistent program and rewinds after solving, instead of copying the
+  /// whole (2^(d+a)-row) base per node.
+  struct Mark {
+    std::size_t num_eq = 0;
+    std::size_t num_ge = 0;
+  };
+  Mark mark() const noexcept { return {a_eq.size(), a_ge.size()}; }
+  void rewind(const Mark& m);
 };
 
 LpResult solve_lp(const LinearProgram& lp);

@@ -5,32 +5,65 @@
 #include <z3++.h>
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "util/logging.hpp"
 
 namespace nck {
-namespace {
 
-// Builds the symbolic energy f(bits) = offset + sum a_i + sum b_ij over the
-// monomials active in `bits`.
-z3::expr energy_expr(z3::context& /*ctx*/, const z3::expr& offset,
-                     const std::vector<z3::expr>& lin,
-                     const std::vector<std::vector<int>>& quad_index,
-                     const std::vector<z3::expr>& quad, std::uint32_t bits,
-                     std::size_t v) {
-  z3::expr e = offset;
-  for (std::size_t i = 0; i < v; ++i) {
-    if (!((bits >> i) & 1u)) continue;
-    e = e + lin[i];
-    for (std::size_t j = i + 1; j < v; ++j) {
-      if ((bits >> j) & 1u) e = e + quad[static_cast<std::size_t>(quad_index[i][j])];
+// The incremental SMT session: context, solver, and coefficient-variable
+// pools persist across synthesize() calls; per-attempt state (coefficient
+// bounds, ground/gap assertions) lives in a push/pop scope. Z3 constants
+// are context-level and unscoped — variables from larger past attempts
+// are simply unconstrained inside later scopes, which is harmless.
+struct Z3Synthesizer::Incremental {
+  z3::context ctx;
+  z3::solver solver;
+  z3::expr offset;
+  std::vector<z3::expr> lin;
+  std::vector<std::vector<z3::expr>> quad;  // quad[i][j - i - 1], i < j
+
+  Incremental() : solver(ctx), offset(ctx.int_const("c")) {}
+
+  const z3::expr& linear(std::size_t i) {
+    while (lin.size() <= i) {
+      const std::string name = "a" + std::to_string(lin.size());
+      lin.push_back(ctx.int_const(name.c_str()));
     }
+    return lin[i];
   }
-  return e;
-}
 
-}  // namespace
+  const z3::expr& quadratic(std::size_t i, std::size_t j) {
+    while (quad.size() <= i) quad.emplace_back();
+    std::vector<z3::expr>& row = quad[i];
+    while (row.size() < j - i) {
+      const std::size_t jj = i + 1 + row.size();
+      const std::string name =
+          "b" + std::to_string(i) + "_" + std::to_string(jj);
+      row.push_back(ctx.int_const(name.c_str()));
+    }
+    return row[j - i - 1];
+  }
+
+  // Symbolic energy f(bits) = offset + sum a_i + sum b_ij over the
+  // monomials active in `bits`.
+  z3::expr energy(std::uint32_t bits, std::size_t v) {
+    z3::expr e = offset;
+    for (std::size_t i = 0; i < v; ++i) {
+      if (!((bits >> i) & 1u)) continue;
+      e = e + linear(i);
+      for (std::size_t j = i + 1; j < v; ++j) {
+        if ((bits >> j) & 1u) e = e + quadratic(i, j);
+      }
+    }
+    return e;
+  }
+};
+
+Z3Synthesizer::Z3Synthesizer(Z3SynthOptions options) : options_(options) {}
+
+Z3Synthesizer::~Z3Synthesizer() = default;
 
 std::optional<SynthesizedQubo> Z3Synthesizer::synthesize(
     const ConstraintPattern& pattern) {
@@ -39,6 +72,9 @@ std::optional<SynthesizedQubo> Z3Synthesizer::synthesize(
   std::vector<std::uint32_t> valid = pattern.valid_assignments();
   if (valid.empty()) return std::nullopt;
 
+  if (!inc_) inc_ = std::make_unique<Incremental>();
+  Incremental& inc = *inc_;
+
   for (std::size_t a = 0; a <= options_.max_ancillas; ++a) {
     const std::size_t v = d + a;
     if (v > options_.max_vars) break;
@@ -46,56 +82,41 @@ std::optional<SynthesizedQubo> Z3Synthesizer::synthesize(
 
     for (long long bound = options_.initial_bound; bound <= options_.max_bound;
          bound *= 2) {
-      z3::context ctx;
-      z3::solver solver(ctx);
-
-      z3::expr offset = ctx.int_const("c");
-      std::vector<z3::expr> lin;
-      for (std::size_t i = 0; i < v; ++i) {
-        std::string lin_name = "a";
-        lin_name += std::to_string(i);
-        lin.push_back(ctx.int_const(lin_name.c_str()));
-      }
-      std::vector<std::vector<int>> quad_index(v, std::vector<int>(v, -1));
-      std::vector<z3::expr> quad;
-      for (std::size_t i = 0; i < v; ++i) {
-        for (std::size_t j = i + 1; j < v; ++j) {
-          quad_index[i][j] = static_cast<int>(quad.size());
-          std::string quad_name = "b";
-          quad_name += std::to_string(i);
-          quad_name += "_";
-          quad_name += std::to_string(j);
-          quad.push_back(ctx.int_const(quad_name.c_str()));
-        }
-      }
+      inc.solver.push();
 
       auto bound_var = [&](const z3::expr& e) {
-        solver.add(e >= ctx.int_val(static_cast<std::int64_t>(-bound)) &&
-                   e <= ctx.int_val(static_cast<std::int64_t>(bound)));
+        inc.solver.add(
+            e >= inc.ctx.int_val(static_cast<std::int64_t>(-bound)) &&
+            e <= inc.ctx.int_val(static_cast<std::int64_t>(bound)));
       };
-      bound_var(offset);
-      for (const auto& e : lin) bound_var(e);
-      for (const auto& e : quad) bound_var(e);
+      bound_var(inc.offset);
+      for (std::size_t i = 0; i < v; ++i) bound_var(inc.linear(i));
+      for (std::size_t i = 0; i < v; ++i) {
+        for (std::size_t j = i + 1; j < v; ++j) bound_var(inc.quadratic(i, j));
+      }
 
       for (std::uint32_t x = 0; x < (1u << d); ++x) {
         const bool ok = pattern.satisfied(x);
-        z3::expr_vector ground_options(ctx);
+        z3::expr_vector ground_options(inc.ctx);
         for (std::uint32_t z = 0; z < num_z; ++z) {
           const std::uint32_t bits = x | (z << d);
-          z3::expr f = energy_expr(ctx, offset, lin, quad_index, quad, bits, v);
+          z3::expr f = inc.energy(bits, v);
           if (ok) {
-            solver.add(f >= 0);
+            inc.solver.add(f >= 0);
             ground_options.push_back(f == 0);
           } else {
-            solver.add(f >= 1);
+            inc.solver.add(f >= 1);
           }
         }
-        if (ok) solver.add(z3::mk_or(ground_options));
+        if (ok) inc.solver.add(z3::mk_or(ground_options));
       }
 
-      if (solver.check() != z3::sat) continue;
+      if (inc.solver.check() != z3::sat) {
+        inc.solver.pop();
+        continue;
+      }
 
-      z3::model model = solver.get_model();
+      z3::model model = inc.solver.get_model();
       auto value = [&](const z3::expr& e) {
         return static_cast<double>(model.eval(e, true).get_numeral_int64());
       };
@@ -105,13 +126,13 @@ std::optional<SynthesizedQubo> Z3Synthesizer::synthesize(
       out.gap = 1.0;
       out.method = "z3";
       Qubo q(v);
-      q.add_offset(value(offset));
+      q.add_offset(value(inc.offset));
       for (std::size_t i = 0; i < v; ++i) {
-        q.add_linear(static_cast<Qubo::Var>(i), value(lin[i]));
+        q.add_linear(static_cast<Qubo::Var>(i), value(inc.linear(i)));
       }
       for (std::size_t i = 0; i < v; ++i) {
         for (std::size_t j = i + 1; j < v; ++j) {
-          const double c = value(quad[static_cast<std::size_t>(quad_index[i][j])]);
+          const double c = value(inc.quadratic(i, j));
           if (c != 0.0) {
             q.add_quadratic(static_cast<Qubo::Var>(i),
                             static_cast<Qubo::Var>(j), c);
@@ -119,6 +140,7 @@ std::optional<SynthesizedQubo> Z3Synthesizer::synthesize(
         }
       }
       out.qubo = std::move(q);
+      inc.solver.pop();
       return out;
     }
     Log(LogLevel::kDebug) << "z3_synth: " << pattern.key() << " needs more than "

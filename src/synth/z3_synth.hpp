@@ -6,6 +6,8 @@
 // up to ancilla symmetry).
 #pragma once
 
+#include <memory>
+
 #include "synth/synthesizer.hpp"
 
 #if NCK_HAVE_Z3
@@ -27,7 +29,8 @@ struct Z3SynthOptions {
 
 class Z3Synthesizer final : public ConstraintSynthesizer {
  public:
-  explicit Z3Synthesizer(Z3SynthOptions options = {}) : options_(options) {}
+  explicit Z3Synthesizer(Z3SynthOptions options = {});
+  ~Z3Synthesizer() override;
 
   std::optional<SynthesizedQubo> synthesize(
       const ConstraintPattern& pattern) override;
@@ -35,7 +38,14 @@ class Z3Synthesizer final : public ConstraintSynthesizer {
   std::size_t max_vars() const noexcept override { return options_.max_vars; }
 
  private:
+  /// One incremental z3::context + z3::solver held for the synthesizer's
+  /// (i.e. the owning SynthEngine's) lifetime, with lazily-grown coefficient
+  /// variable pools. Each (ancilla, bound) attempt is a push/pop scope over
+  /// the same solver instead of a from-scratch solver build — the
+  /// rmc-compiler smt.h idiom. Pimpl keeps z3++.h out of this header.
+  struct Incremental;
   Z3SynthOptions options_;
+  std::unique_ptr<Incremental> inc_;
 };
 
 }  // namespace nck
