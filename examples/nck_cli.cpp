@@ -84,6 +84,7 @@
 #include "obs/json.hpp"
 #include "runtime/pool.hpp"
 #include "runtime/solver.hpp"
+#include "serve/stdio.hpp"
 
 using namespace nck;
 
@@ -103,7 +104,9 @@ int usage() {
                "       nck_cli certify [--json] [--hard-margin=X] "
                "<program-file|->\n"
                "       nck_cli simplify [--json] [--emit=FILE] "
-               "<program-file|->\n");
+               "<program-file|->\n"
+               "       nck_cli serve [--workers=N] [--queue-depth=N] "
+               "[--seed=N] [--default-deadline-ms=X] [--stuck-after-ms=X]\n");
   return 2;
 }
 
@@ -445,6 +448,11 @@ int main(int argc, char** argv) {
   }
   if (argc >= 2 && std::strcmp(argv[1], "simplify") == 0) {
     return run_simplify(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "serve") == 0) {
+    // The daemon mode (identical to the standalone nck_serve binary):
+    // line-delimited JSON requests on stdin, responses on stdout.
+    return serve::run_serve_cli(argc, argv, 2);
   }
 
   BackendKind backend = BackendKind::kClassical;

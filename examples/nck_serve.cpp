@@ -1,0 +1,14 @@
+// Standalone serve daemon: line-delimited JSON requests on stdin, one
+// response per line on stdout (see src/serve/protocol.hpp for the wire
+// schema and src/serve/stdio.hpp for flags and signal semantics).
+//
+//   ./nck_serve --workers=4 --queue-depth=64 <<'EOF'
+//   {"id":1,"op":"solve","program":"nck({a,b},{1})","backend":"classical"}
+//   {"id":2,"op":"stats"}
+//   {"id":3,"op":"shutdown"}
+//   EOF
+#include "serve/stdio.hpp"
+
+int main(int argc, char** argv) {
+  return nck::serve::run_serve_cli(argc, argv, 1);
+}

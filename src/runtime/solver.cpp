@@ -158,6 +158,9 @@ bool Solver::validate_options(const std::vector<BackendKind>& chain,
     return reject("fallback chain is engaged but empty");
   }
   if (!resilience_.retry.validate(&why)) return reject(why);
+  if (std::isnan(solve_options_.wall_budget_ms)) {
+    return reject("wall_budget_ms is NaN");
+  }
 
   for (BackendKind bk : chain) {
     const backend::Backend* be = registry_.find(bk);
@@ -173,6 +176,28 @@ bool Solver::validate_options(const std::vector<BackendKind>& chain,
 void Solver::solve_impl(const Env& env, BackendKind backend,
                         SolveReport& report, obs::Trace& trace) {
   obs::Span solve_span(trace, "solve");
+
+  // Wall-clock deadline (distinct from the modeled-session deadline in
+  // RetryPolicy::deadline_ms; see SolveOptions::wall_budget_ms). The gate
+  // runs at entry — an already-expired request fails fast without burning
+  // any presolve/analysis/backend work — and again between stages and
+  // before every attempt.
+  const Timer wall_clock;
+  const double wall_budget = solve_options_.wall_budget_ms;
+  const auto wall_expired = [&]() noexcept {
+    return wall_clock.milliseconds() >= wall_budget;
+  };
+  const auto fail_wall = [&](const char* stage) {
+    report.resilience.deadline_exhausted = true;
+    obs::count(&trace, "resilience.wall_deadline_exhausted");
+    fail(report, FailureKind::kDeadlineExhausted,
+         std::string("wall-clock deadline exhausted ") + stage + " (budget " +
+             std::to_string(wall_budget) + " ms)");
+  };
+  if (wall_budget <= 0.0) {
+    fail_wall("before the solve started");
+    return;
+  }
 
   // Chain: the primary backend, then the fallback rungs in order, with
   // every duplicate kind dropped (first occurrence wins). Validation and
@@ -352,6 +377,10 @@ void Solver::solve_impl(const Env& env, BackendKind backend,
          "program is infeasible (hard constraints conflict)");
     return;
   }
+  if (wall_expired()) {
+    fail_wall("before dispatch");
+    return;
+  }
 
   const bool resilient = resilience_.active();
   const RetryPolicy& retry = resilience_.retry;
@@ -376,8 +405,9 @@ void Solver::solve_impl(const Env& env, BackendKind backend,
   std::size_t attempt = 0;
   FailureKind last_failure = FailureKind::kNone;
   std::string last_detail;
+  bool wall_out = false;
 
-  for (std::size_t rung = 0; rung < chain.size(); ++rung) {
+  for (std::size_t rung = 0; rung < chain.size() && !wall_out; ++rung) {
     const BackendKind bk = chain[rung];
     const backend::Backend& be = *registry_.find(bk);
     if (rung > 0) {
@@ -390,6 +420,19 @@ void Solver::solve_impl(const Env& env, BackendKind backend,
     std::size_t rung_attempts = 0;
 
     while (true) {
+      // Wall-clock gate first: unlike the modeled deadline below it has no
+      // exempt backend — once real time is up, every further attempt is
+      // wasted work for a caller that has already timed out.
+      if (wall_expired()) {
+        log.deadline_exhausted = true;
+        last_failure = FailureKind::kDeadlineExhausted;
+        last_detail = std::string("wall-clock deadline exhausted before a ") +
+                      backend_name(bk) + " attempt";
+        obs::count(&trace, "resilience.wall_deadline_exhausted");
+        wall_out = true;
+        break;
+      }
+
       // Deadline gate + degradation ladder. Deadline-exempt backends (the
       // classical rung) are the guaranteed landing: they cost no modeled
       // device time and exist precisely to land the solve.

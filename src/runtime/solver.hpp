@@ -14,6 +14,7 @@
 // solver instance (the CI chaos job).
 #pragma once
 
+#include <limits>
 #include <memory>
 #include <optional>
 #include <string>
@@ -56,6 +57,20 @@ struct SolveOptions {
   /// diagnostics.
   bool presolve = true;
   ReduceOptions reduce_options;
+  /// Remaining *wall-clock* budget for this solve, in milliseconds,
+  /// measured on the monotonic clock from solve() entry. Infinity (the
+  /// default) means no wall deadline. This is deliberately distinct from
+  /// RetryPolicy::deadline_ms, which is consumed against the *modeled*
+  /// SessionClock (measured client time + modeled device time + modeled
+  /// backoff waits) so fault-injection tests stay deterministic: a server
+  /// propagating a client's latency budget needs real elapsed time, not
+  /// modeled time. A budget that is already exhausted at entry (<= 0)
+  /// fails fast with FailureKind::kDeadlineExhausted before any presolve,
+  /// analysis, or backend work runs; mid-solve exhaustion is checked
+  /// between stages and before every attempt (including the otherwise
+  /// deadline-exempt classical rung — a caller past its wall deadline has
+  /// no use for a late answer). NaN is rejected as kBadOptions.
+  double wall_budget_ms = std::numeric_limits<double>::infinity();
 };
 
 struct SolveReport {

@@ -1,0 +1,64 @@
+#include "serve/latency.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nck::serve {
+
+std::size_t LatencyHistogram::bucket_of(double ms) noexcept {
+  if (!(ms > kFirstUpperMs)) return 0;  // includes NaN and negatives
+  const double raw = std::ceil(std::log(ms / kFirstUpperMs) / std::log(kGrowth));
+  const std::size_t b = raw < 0.0 ? 0 : static_cast<std::size_t>(raw);
+  return std::min(b, kBuckets - 1);
+}
+
+double LatencyHistogram::upper_of(std::size_t b) noexcept {
+  return kFirstUpperMs * std::pow(kGrowth, static_cast<double>(b));
+}
+
+void LatencyHistogram::observe(double ms) {
+  if (std::isnan(ms)) return;
+  if (ms < 0.0) ms = 0.0;
+  std::lock_guard lock(mutex_);
+  ++counts_[bucket_of(ms)];
+  ++total_;
+  sum_ += ms;
+  if (ms > max_) max_ = ms;
+}
+
+double LatencyHistogram::quantile(double q) const {
+  std::lock_guard lock(mutex_);
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-quantile, 1-based: ceil(q * total), at least 1.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total_))));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += counts_[b];
+    if (seen >= rank) {
+      // The last bucket is open-ended: its nominal upper bound would
+      // under-report any observation beyond the geometric range.
+      if (b + 1 == kBuckets) return max_;
+      return std::min(upper_of(b), max_);
+    }
+  }
+  return max_;
+}
+
+std::size_t LatencyHistogram::count() const {
+  std::lock_guard lock(mutex_);
+  return static_cast<std::size_t>(total_);
+}
+
+double LatencyHistogram::mean() const {
+  std::lock_guard lock(mutex_);
+  return total_ ? sum_ / static_cast<double>(total_) : 0.0;
+}
+
+double LatencyHistogram::max() const {
+  std::lock_guard lock(mutex_);
+  return max_;
+}
+
+}  // namespace nck::serve

@@ -1,0 +1,53 @@
+// Fixed-footprint latency histogram with approximate quantiles, for the
+// daemon's p50/p99 gauges. The obs::HistogramData summary (count/sum/
+// min/max) cannot answer quantile queries, and storing raw samples is
+// unbounded over a daemon lifetime — so latencies land in geometric
+// buckets (1 µs .. ~53 min at 1.25x growth) and quantiles are read as the
+// upper bound of the bucket where the cumulative count crosses the rank.
+// The relative error is bounded by the growth factor (≤ 25%), which is
+// plenty for an SLO gauge; exact min/max/mean ride along.
+//
+// Thread-safe: one mutex, observe() is O(1), quantile() is O(buckets).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+namespace nck::serve {
+
+class LatencyHistogram {
+ public:
+  /// Feeds one latency observation, in milliseconds (values below the
+  /// first bucket clamp into it; values past the last clamp into the
+  /// last).
+  void observe(double ms);
+
+  /// Approximate q-quantile (q in [0, 1]) in milliseconds: the upper
+  /// bound of the bucket containing the rank, clamped to the observed
+  /// max. 0 when empty.
+  double quantile(double q) const;
+
+  std::size_t count() const;
+  double mean() const;
+  double max() const;
+
+ private:
+  static constexpr std::size_t kBuckets = 96;
+  static constexpr double kFirstUpperMs = 1e-3;  // 1 µs
+  static constexpr double kGrowth = 1.25;
+
+  /// Bucket whose upper bound is the smallest >= ms.
+  static std::size_t bucket_of(double ms) noexcept;
+  /// Upper bound of bucket `b` in ms.
+  static double upper_of(std::size_t b) noexcept;
+
+  mutable std::mutex mutex_;
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace nck::serve

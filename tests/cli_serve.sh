@@ -1,0 +1,175 @@
+#!/usr/bin/env bash
+# Daemon-lifecycle contract of nck_serve (and `nck_cli serve`), exercised
+# from the outside the way an operator would:
+#   - here-doc request stream: one typed JSON response per line, shutdown
+#     drains and exits 0 with a final stats snapshot on stderr
+#   - malformed + oversized request lines earn typed bad_request responses
+#     and never kill the daemon
+#   - first SIGTERM drains gracefully (exit 0, queued work rejected as
+#     `draining`, in-flight work completed)
+#   - second SIGTERM force-exits a daemon wedged by a stuck worker
+# Run by ctest as: cli_serve.sh <path-to-nck_serve> <path-to-nck_cli>
+set -u
+
+SERVE="$1"
+CLI="${2:-}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+fails=0
+fail() {
+  echo "FAIL: $1" >&2
+  shift
+  for f in "$@"; do sed 's/^/  /' "$f" >&2; done
+  fails=$((fails + 1))
+}
+
+# ---- 1. here-doc round trip: solve/lint/stats/shutdown, exit 0 --------
+"$SERVE" --workers=2 > "$TMP/out" 2> "$TMP/err" <<'EOF'
+{"id":1,"op":"solve","program":"nck({a, b}, {1})","backend":"classical"}
+{"id":2,"op":"lint","program":"nck({a, b}, {1})"}
+{"id":3,"op":"bogus"}
+{"id":4,"op":"stats"}
+{"id":5,"op":"shutdown"}
+EOF
+code=$?
+[ "$code" -eq 0 ] || fail "here-doc stream should exit 0, got $code" "$TMP/err"
+grep -q '"id":3,.*"kind":"bad_request"' "$TMP/out" ||
+  fail "unknown op should earn a typed bad_request" "$TMP/out"
+grep -q '"id":4,"op":"stats","ok":true' "$TMP/out" ||
+  fail "stats should answer inline" "$TMP/out"
+grep -q '"id":5,"op":"shutdown","ok":true' "$TMP/out" ||
+  fail "shutdown should be acknowledged" "$TMP/out"
+grep -q 'final stats' "$TMP/err" ||
+  fail "final stats snapshot missing from stderr" "$TMP/err"
+# Every request got exactly one response line.
+responses=$(grep -c '^{"id":' "$TMP/out")
+[ "$responses" -eq 5 ] ||
+  fail "expected 5 response lines, got $responses" "$TMP/out"
+[ "$fails" -eq 0 ] && echo "ok: here-doc round trip"
+
+# ---- 2. oversized + garbage lines never kill the daemon ---------------
+# Drive via a fifo and wait for the solve response before shutting down:
+# a piped `shutdown` would race ahead of the queued solve and the drain
+# would (correctly) reject it as `draining`.
+mkfifo "$TMP/in2"
+"$SERVE" --workers=1 < "$TMP/in2" > "$TMP/out2" 2> "$TMP/err2" &
+pid=$!
+exec 5> "$TMP/in2"
+{
+  # ~2 MiB on one line: over the 1 MiB request cap, streamed and discarded.
+  printf '{"id":1,"op":"solve","program":"'
+  head -c 2097152 /dev/zero | tr '\0' 'x'
+  printf '"}\n'
+  printf 'complete garbage\n'
+  printf '{"id":2,"op":"solve","program":"nck({a, b}, {1})","backend":"classical"}\n'
+} >&5
+for _ in $(seq 1 200); do
+  grep -q '"id":2' "$TMP/out2" 2>/dev/null && break
+  sleep 0.1
+done
+printf '{"id":3,"op":"shutdown"}\n' >&5
+exec 5>&-
+alive=1
+for _ in $(seq 1 100); do
+  kill -0 "$pid" 2>/dev/null || { alive=0; break; }
+  sleep 0.1
+done
+if [ "$alive" -eq 0 ]; then
+  wait "$pid" 2>/dev/null
+  code=$?
+else
+  kill -KILL "$pid" 2>/dev/null
+  wait "$pid" 2>/dev/null
+  code=137
+fi
+[ "$code" -eq 0 ] || fail "oversized-line stream should exit 0, got $code" "$TMP/err2"
+grep -q '"kind":"bad_request".*byte cap' "$TMP/out2" ||
+  fail "oversized line should earn a typed bad_request naming the cap" "$TMP/out2"
+grep -q '"id":2,"op":"solve","ok":true' "$TMP/out2" ||
+  fail "daemon should still solve after abuse" "$TMP/out2"
+[ "$fails" -eq 0 ] && echo "ok: oversized and garbage input survived"
+
+# ---- 3. first SIGTERM drains gracefully ------------------------------
+# Keep stdin open via a fifo so the daemon is idle-blocked on read().
+mkfifo "$TMP/in3"
+"$SERVE" --workers=1 < "$TMP/in3" > "$TMP/out3" 2> "$TMP/err3" &
+pid=$!
+exec 3> "$TMP/in3"  # hold the write end open
+printf '{"id":1,"op":"solve","program":"nck({a, b}, {1})","backend":"classical"}\n' >&3
+# Wait until the solve response lands so the request is genuinely in/past flight.
+for _ in $(seq 1 100); do
+  grep -q '"id":1' "$TMP/out3" 2>/dev/null && break
+  sleep 0.1
+done
+kill -TERM "$pid"
+graceful=1
+for _ in $(seq 1 100); do
+  kill -0 "$pid" 2>/dev/null || { graceful=0; break; }
+  sleep 0.1
+done
+if [ "$graceful" -eq 0 ]; then
+  wait "$pid" 2>/dev/null
+  code=$?
+else
+  kill -KILL "$pid" 2>/dev/null
+  wait "$pid" 2>/dev/null
+  code=137
+fi
+exec 3>&-
+[ "$graceful" -eq 0 ] || fail "daemon did not exit after SIGTERM" "$TMP/err3"
+[ "$code" -eq 0 ] || fail "SIGTERM drain should exit 0, got $code" "$TMP/err3"
+grep -q '"id":1,"op":"solve","ok":true' "$TMP/out3" ||
+  fail "in-flight solve should complete before the drain" "$TMP/out3"
+grep -q 'final stats' "$TMP/err3" ||
+  fail "drained daemon should flush final stats" "$TMP/err3"
+[ "$fails" -eq 0 ] && echo "ok: graceful SIGTERM drain"
+
+# ---- 4. second SIGTERM force-exits a wedged daemon --------------------
+# --test-stall-ms pins the only worker far longer than the test budget, so
+# the first SIGTERM's drain can never finish on its own.
+mkfifo "$TMP/in4"
+"$SERVE" --workers=1 --test-stall-ms=60000 < "$TMP/in4" > "$TMP/out4" 2> "$TMP/err4" &
+pid=$!
+exec 4> "$TMP/in4"
+printf '{"id":1,"op":"solve","program":"nck({a, b}, {1})","backend":"classical"}\n' >&4
+sleep 1  # let the worker enter the stall
+kill -TERM "$pid"
+sleep 1  # drain is now wedged behind the stalled worker
+kill -0 "$pid" 2>/dev/null ||
+  fail "daemon should still be draining behind the stuck worker" "$TMP/err4"
+kill -TERM "$pid"
+forced=1
+for _ in $(seq 1 50); do
+  kill -0 "$pid" 2>/dev/null || { forced=0; break; }
+  sleep 0.1
+done
+if [ "$forced" -eq 0 ]; then
+  wait "$pid" 2>/dev/null
+  code=$?
+else
+  kill -KILL "$pid" 2>/dev/null
+  wait "$pid" 2>/dev/null
+  code=137
+fi
+exec 4>&-
+[ "$forced" -eq 0 ] || fail "second SIGTERM must force exit" "$TMP/err4"
+[ "$code" -ne 0 ] || fail "forced exit should be nonzero, got $code" "$TMP/err4"
+[ "$fails" -eq 0 ] && echo "ok: second SIGTERM forces exit"
+
+# ---- 5. nck_cli serve is the same daemon ------------------------------
+if [ -n "$CLI" ]; then
+  printf '{"id":1,"op":"stats"}\n{"id":2,"op":"shutdown"}\n' |
+    "$CLI" serve --workers=1 > "$TMP/out5" 2> "$TMP/err5"
+  code=$?
+  [ "$code" -eq 0 ] || fail "nck_cli serve should exit 0, got $code" "$TMP/err5"
+  grep -q '"id":1,"op":"stats","ok":true' "$TMP/out5" ||
+    fail "nck_cli serve should answer stats" "$TMP/out5"
+  [ "$fails" -eq 0 ] && echo "ok: nck_cli serve subcommand"
+fi
+
+if [ "$fails" -ne 0 ]; then
+  echo "$fails case(s) failed" >&2
+  exit 1
+fi
+echo "all serve lifecycle cases passed"

@@ -506,6 +506,59 @@ TEST(ResilientSolve, ExhaustedDeadlineFallsBackToClassical) {
   }
 }
 
+TEST(WallDeadline, AlreadyExpiredBudgetFailsFastTyped) {
+  // The serve-layer contract: a request whose wall budget ran out while
+  // queued must fail with the typed kind *before* any presolve, analysis,
+  // or backend work — no attempts, no spans, just the rejection.
+  Solver solver(42);
+  solver.solve_options().wall_budget_ms = 0.0;
+  const SolveReport report =
+      solver.solve(small_problem(), BackendKind::kAnnealer);
+  EXPECT_FALSE(report.ran);
+  EXPECT_EQ(report.failure, FailureKind::kDeadlineExhausted);
+  EXPECT_TRUE(report.resilience.deadline_exhausted);
+  EXPECT_TRUE(report.resilience.attempts.empty());
+  EXPECT_NE(report.failure_detail.find("wall-clock"), std::string::npos);
+  // No stage beyond the solve root ever ran.
+  EXPECT_EQ(report.trace.find_span("presolve"), nullptr);
+  EXPECT_EQ(report.trace.find_span("analyze"), nullptr);
+  EXPECT_EQ(report.trace.find_span("ground_truth"), nullptr);
+  EXPECT_EQ(report.trace.counter("resilience.wall_deadline_exhausted"), 1.0);
+}
+
+TEST(WallDeadline, NegativeBudgetFailsFastClassicalToo) {
+  // Unlike the modeled session deadline, the wall deadline is not
+  // classical-exempt: a caller past its latency budget has no use for a
+  // late answer.
+  Solver solver(42);
+  solver.solve_options().wall_budget_ms = -5.0;
+  const SolveReport report =
+      solver.solve(small_problem(), BackendKind::kClassical);
+  EXPECT_FALSE(report.ran);
+  EXPECT_EQ(report.failure, FailureKind::kDeadlineExhausted);
+}
+
+TEST(WallDeadline, NanBudgetIsBadOptions) {
+  Solver solver(42);
+  solver.solve_options().wall_budget_ms = std::nan("");
+  const SolveReport report =
+      solver.solve(small_problem(), BackendKind::kClassical);
+  EXPECT_FALSE(report.ran);
+  EXPECT_EQ(report.failure, FailureKind::kBadOptions);
+}
+
+TEST(WallDeadline, GenerousBudgetDoesNotPerturbTheSolve) {
+  Solver with(42);
+  with.solve_options().wall_budget_ms = 60000.0;
+  Solver without(42);
+  const SolveReport a = with.solve(small_problem(), BackendKind::kAnnealer);
+  const SolveReport b = without.solve(small_problem(), BackendKind::kAnnealer);
+  ASSERT_TRUE(a.ran) << a.failure_message();
+  ASSERT_TRUE(b.ran) << b.failure_message();
+  EXPECT_EQ(a.best_assignment, b.best_assignment);
+  EXPECT_EQ(a.counts.optimal, b.counts.optimal);
+}
+
 TEST(ResilientSolve, BadOptionsRejectedAtEntry) {
   const Env env = small_problem();
   {
