@@ -5,8 +5,15 @@
 //   nck_cli [solve] [--backend=classical|annealer|circuit] [--seed=N]
 //           [--reads=N] [--sweeps=N] [--replicas=N] [--shots=N]
 //           [--trace[=table|json]]
+//           [--decompose] [--subproblem-vars=N] [--max-rounds=N]
 //           [--faults=SPEC] [--fault-seed=N] [--max-retries=N]
 //           [--deadline-ms=X] [--fallback=b1,b2,...] <program-file|->
+//
+// `--decompose` turns on the qbsolv-style large-neighborhood loop
+// (DESIGN.md §3i): programs whose post-presolve size exceeds the
+// per-sub-QUBO cap (`--subproblem-vars`, default 65) are partitioned,
+// clamped to the incumbent, and iterated for at most `--max-rounds`
+// rounds. The size flags imply `--decompose`.
 //   nck_cli solve --batch [--backend=...|portfolio] [--threads=N]
 //           <program-file>...
 //   nck_cli lint [--json] [--target=program|annealer|circuit|all]
@@ -95,6 +102,7 @@ int usage() {
                "usage: nck_cli [solve] [--backend=classical|annealer|circuit] "
                "[--seed=N] [--reads=N] [--sweeps=N] [--replicas=N] "
                "[--shots=N] [--trace[=table|json]] "
+               "[--decompose] [--subproblem-vars=N] [--max-rounds=N] "
                "[--faults=SPEC] [--fault-seed=N] [--max-retries=N] "
                "[--deadline-ms=X] [--fallback=b1,b2,...] <program-file|->\n"
                "       nck_cli solve --batch [--backend=...|portfolio] "
@@ -462,6 +470,7 @@ int main(int argc, char** argv) {
   enum class TraceMode { kOff, kTable, kJson };
   TraceMode trace_mode = TraceMode::kOff;
   ResilienceOptions resilience;
+  decompose::DecomposeOptions decompose;
   bool batch = false;
   bool portfolio = false;
   std::size_t threads = 0;  // 0 = hardware concurrency
@@ -491,6 +500,14 @@ int main(int argc, char** argv) {
       replicas = std::stoull(arg.substr(11));
     } else if (arg.rfind("--shots=", 0) == 0) {
       shots = std::stoull(arg.substr(8));
+    } else if (arg == "--decompose") {
+      decompose.enabled = true;
+    } else if (arg.rfind("--subproblem-vars=", 0) == 0) {
+      decompose.enabled = true;
+      decompose.subproblem_vars = std::stoull(arg.substr(18));
+    } else if (arg.rfind("--max-rounds=", 0) == 0) {
+      decompose.enabled = true;
+      decompose.max_rounds = std::stoull(arg.substr(13));
     } else if (arg == "--trace" || arg == "--trace=table") {
       trace_mode = TraceMode::kTable;
     } else if (arg == "--trace=json") {
@@ -548,6 +565,11 @@ int main(int argc, char** argv) {
     if (replicas > 0) options.annealer.sampler.num_replicas = replicas;
     options.circuit.qaoa.shots = shots;
     if (resilience.active()) options.resilience = resilience;
+    if (decompose.enabled) {
+      SolveOptions solve_options;
+      solve_options.decompose = decompose;
+      options.solve = solve_options;
+    }
     SolverPool pool(options);
     std::printf("batch: %zu program(s), backend=%s\n", envs.size(),
                 portfolio ? "portfolio" : backend_name(backend));
@@ -605,6 +627,7 @@ int main(int argc, char** argv) {
   if (replicas > 0) solver.annealer_options().sampler.num_replicas = replicas;
   solver.circuit_options().qaoa.shots = shots;
   solver.resilience_options() = resilience;
+  solver.solve_options().decompose = decompose;
   const SolveReport report = solver.solve(env, backend);
   if (!report.analysis.empty()) {
     std::fprintf(stderr, "static analysis:\n");
@@ -646,6 +669,14 @@ int main(int argc, char** argv) {
   }
   if (report.qubits_used) {
     std::printf("qubits used: %zu\n", report.qubits_used);
+  }
+  if (report.decompose) {
+    const auto& d = *report.decompose;
+    std::printf("decompose: %zu subproblem(s) over %zu variable(s), "
+                "%zu round(s)%s%s\n",
+                d.subproblems, d.num_vars, d.rounds,
+                d.converged ? ", converged" : "",
+                d.truth_exact ? "" : " (truth referenced to incumbent)");
   }
   print_resilience();
   print_trace();

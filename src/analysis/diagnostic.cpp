@@ -45,6 +45,7 @@ const char* diag_code_name(DiagCode code) noexcept {
     case DiagCode::kIndependentComponents: return "NCK-D002";
     case DiagCode::kPresolveUnsat: return "NCK-D003";
     case DiagCode::kReductionRejected: return "NCK-D004";
+    case DiagCode::kDecomposed: return "NCK-D005";
   }
   return "NCK-????";
 }

@@ -47,6 +47,7 @@ enum class DiagCode {
   kIndependentComponents,    // NCK-D002: program splits into disjoint parts
   kPresolveUnsat,            // NCK-D003: dataflow fixpoint proves unsat
   kReductionRejected,        // NCK-D004: reduction failed equivalence check
+  kDecomposed,               // NCK-D005: program solved by decomposition
 };
 
 /// "NCK-P001" etc. — the stable identifier emitted in JSON and table output.

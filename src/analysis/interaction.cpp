@@ -1,0 +1,19 @@
+#include "analysis/interaction.hpp"
+
+namespace nck {
+
+Graph variable_interaction_graph(const Env& env) {
+  Graph g(env.num_vars());
+  for (const Constraint& c : env.constraints()) {
+    const std::vector<VarId> vars = c.distinct_vars();
+    for (std::size_t a = 0; a < vars.size(); ++a) {
+      for (std::size_t b = a + 1; b < vars.size(); ++b) {
+        g.add_edge(static_cast<Graph::Vertex>(vars[a]),
+                   static_cast<Graph::Vertex>(vars[b]));
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace nck

@@ -192,6 +192,13 @@ std::vector<std::vector<std::size_t>> constraint_components(const Env& env) {
 
 ComponentSplit split_components(const Env& env) {
   ComponentSplit split;
+  std::vector<bool> constrained(env.num_vars(), false);
+  for (const Constraint& c : env.constraints()) {
+    for (VarId v : c.collection()) constrained[v] = true;
+  }
+  for (std::size_t v = 0; v < env.num_vars(); ++v) {
+    if (!constrained[v]) split.free_vars.push_back(static_cast<VarId>(v));
+  }
   for (const std::vector<std::size_t>& members : constraint_components(env)) {
     std::set<VarId> used;
     for (std::size_t ci : members) {

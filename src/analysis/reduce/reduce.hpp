@@ -138,11 +138,19 @@ std::vector<std::vector<std::size_t>> constraint_components(const Env& env);
 /// Splits a program into its independent sub-programs, one Env per
 /// connected component. `var_maps[k][i]` is the original VarId of component
 /// k's variable i; `constraint_maps[k][j]` the original index of its
-/// constraint j.
+/// constraint j. Components are joined by *any* shared variable — hard or
+/// soft constraints alike — so two hard-disjoint clusters bridged only by a
+/// soft constraint land in one component (their soft counts are coupled).
+/// Variables in no constraint belong to no component; they are listed in
+/// `free_vars` so the var_maps plus free_vars always cover
+/// [0, env.num_vars()) exactly once (the decomposer relies on this).
 struct ComponentSplit {
   std::vector<Env> programs;
   std::vector<std::vector<VarId>> var_maps;
   std::vector<std::vector<std::size_t>> constraint_maps;
+  /// Original VarIds appearing in no constraint, ascending. Any value works
+  /// for them (the canonical completion picks FALSE).
+  std::vector<VarId> free_vars;
 };
 ComponentSplit split_components(const Env& env);
 

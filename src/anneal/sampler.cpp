@@ -87,7 +87,12 @@ AnnealSampleResult sample_annealer(const IsingModel& logical,
       read.chain_breaks = unembed_stats.chain_breaks;
       read.chain_ties = unembed_stats.ties;
       if (options.postprocess) {
-        read.logical = greedy_descent(logical_qubo, read.logical).x;
+        read.logical =
+            options.postprocess_tabu_iters > 0
+                ? tabu_search(logical_qubo, read.logical,
+                              {.max_iters = options.postprocess_tabu_iters})
+                      .x
+                : greedy_descent(logical_qubo, read.logical).x;
       }
       read.logical_energy = logical.energy(read.logical);
     }

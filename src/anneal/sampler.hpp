@@ -37,6 +37,15 @@ struct AnnealerSamplerOptions {
   /// Greedy single-flip descent on the *logical* problem after
   /// unembedding (D-Wave's optional post-processing).
   bool postprocess = false;
+  /// When postprocess is on and this is nonzero, refine each read with a
+  /// deterministic tabu search of this many moves (qubo::tabu_search)
+  /// instead of plain descent. Descent cannot cross even a one-soft-unit
+  /// ridge of a compiled hard+soft program — the hard scale flattens the
+  /// soft landscape far below the final annealing temperature's resolution
+  /// — so decomposed sub-solves stall in minimal-but-not-minimum states
+  /// without it. This is qbsolv's classical tabu refinement of every
+  /// device sample.
+  std::size_t postprocess_tabu_iters = 0;
   DWaveTimingModel timing_model;
 };
 

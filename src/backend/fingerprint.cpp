@@ -106,4 +106,20 @@ void mix_device(Fingerprint& fp, const Device& device) {
   fp.mix(device.operable.size());
 }
 
+void mix_assignment(Fingerprint& fp, const std::vector<bool>& bits) {
+  fp.mix(std::string("assignment"));
+  std::uint64_t word = 0;
+  std::size_t filled = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    word = (word << 1) | (bits[i] ? 1u : 0u);
+    if (++filled == 64) {
+      fp.mix(word);
+      word = 0;
+      filled = 0;
+    }
+  }
+  if (filled > 0) fp.mix(word);
+  fp.mix(bits.size());
+}
+
 }  // namespace nck::backend

@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace nck {
 
@@ -70,6 +71,12 @@ void mix_graph(Fingerprint& fp, const Graph& graph);
 /// Topology of a device: its graph plus the operable-qubit mask, so a
 /// single dead qubit changes the fingerprint (and forces a re-prepare).
 void mix_device(Fingerprint& fp, const Device& device);
+
+/// Bit vector, packed: the decomposer's incumbent assignments and clamped
+/// boundaries. Two sub-plans share a fingerprint exactly when their clamped
+/// boundary values (and hence their clamped sub-programs) agree, which is
+/// what makes re-visiting an unchanged neighborhood a pure cache hit.
+void mix_assignment(Fingerprint& fp, const std::vector<bool>& bits);
 
 }  // namespace backend
 }  // namespace nck

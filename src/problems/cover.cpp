@@ -55,6 +55,67 @@ SetSystem random_set_system(std::size_t num_elements,
   return system;
 }
 
+SetSystem chained_set_system(std::size_t num_blocks, std::size_t block_size,
+                             std::size_t straddlers_per_boundary,
+                             std::size_t straddler_size) {
+  if (num_blocks == 0) {
+    throw std::invalid_argument("chained_set_system: empty blocks");
+  }
+  if (block_size < 4 || block_size % 2 != 0) {
+    throw std::invalid_argument(
+        "chained_set_system: block_size must be even and >= 4");
+  }
+  const std::size_t half = block_size / 2;
+  const std::size_t take_left = straddler_size - straddler_size / 2;
+  const std::size_t take_right = straddler_size / 2;
+  if (straddlers_per_boundary > 0 &&
+      (straddler_size < 2 ||
+       take_left + straddlers_per_boundary > half ||
+       take_right + straddlers_per_boundary > half)) {
+    throw std::invalid_argument(
+        "chained_set_system: straddler reach exceeds half a block");
+  }
+  SetSystem system;
+  system.num_elements = num_blocks * block_size;
+  // Full blocks F_b: elements [b*block_size, (b+1)*block_size).
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    std::vector<std::size_t> block(block_size);
+    for (std::size_t i = 0; i < block_size; ++i) {
+      block[i] = b * block_size + i;
+    }
+    system.subsets.push_back(std::move(block));
+  }
+  // Halves H1_b / H2_b: the two alternatives that give every element a
+  // second coverer (so presolve cannot force anything).
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    std::vector<std::size_t> h1(half), h2(half);
+    for (std::size_t i = 0; i < half; ++i) {
+      h1[i] = b * block_size + i;
+      h2[i] = b * block_size + half + i;
+    }
+    system.subsets.push_back(std::move(h1));
+    system.subsets.push_back(std::move(h2));
+  }
+  // Straddlers at boundary b: the last `take_left` elements of block b
+  // shifted back by the straddler index j, plus the first `take_right`
+  // elements of block b+1 shifted forward by j. The reach bound keeps
+  // them strictly inside the boundary-adjacent halves, preserving a
+  // straddler-free element in every half.
+  for (std::size_t b = 0; b + 1 < num_blocks; ++b) {
+    for (std::size_t j = 0; j < straddlers_per_boundary; ++j) {
+      std::vector<std::size_t> straddler;
+      for (std::size_t t = 0; t < take_left; ++t) {
+        straddler.push_back((b + 1) * block_size - take_left - j + t);
+      }
+      for (std::size_t t = 0; t < take_right; ++t) {
+        straddler.push_back((b + 1) * block_size + j + t);
+      }
+      system.subsets.push_back(std::move(straddler));
+    }
+  }
+  return system;
+}
+
 Env ExactCoverProblem::encode() const {
   Env env;
   const auto vars = env.new_vars(system.subsets.size(), "s");

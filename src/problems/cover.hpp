@@ -28,6 +28,39 @@ SetSystem random_set_system(std::size_t num_elements,
                             std::size_t partition_blocks,
                             std::size_t extra_subsets, Rng& rng);
 
+/// Deterministic chained set system with a *provable* minimum cover at any
+/// scale (the decomposition headline instance). The num_blocks * block_size
+/// elements split into disjoint blocks; block b gets three candidate
+/// subsets — the full block F_b (subset b) and its two halves H1_b / H2_b
+/// (subsets num_blocks + 2b and num_blocks + 2b + 1) — and each of the
+/// num_blocks - 1 block boundaries gains `straddlers_per_boundary` subsets
+/// of `straddler_size` elements drawn from the two adjacent halves
+/// (shifted per straddler index so they differ).
+///
+/// Three properties make it the decomposition workload:
+///  * Connected: straddlers tie adjacent blocks together, so the
+///    interaction graph is one component far past any device cap.
+///  * Presolve-proof: every element has at least two covering subsets
+///    (F and an H), so no cover constraint is a forced singleton.
+///  * Provable optimum: straddlers reach at most
+///    straddlers_per_boundary + straddler_size/2 positions into a half,
+///    strictly less than block_size/2, so each half keeps an element
+///    covered only by {F_b, that half}. Any cover therefore needs a
+///    subset from {F_b, H1_b} and one from {F_b, H2_b} for every b —
+///    at least num_blocks subsets, with equality exactly for the block
+///    cover {F_0..F_{num_blocks-1}}. Minimum cover == num_blocks at
+///    sizes far beyond what branch-and-bound ground truth can certify,
+///    and every straddler or half a large-neighborhood round picks up is
+///    redundant once the neighboring blocks are chosen, so the qbsolv
+///    descent provably reaches the optimum.
+/// Requires block_size even and >= 4, straddler_size in [2, block_size/2],
+/// and straddlers_per_boundary + straddler_size/2 <= block_size/2 (the
+/// reach bound; straddler_size/2 counts each side's share, rounded up on
+/// the left).
+SetSystem chained_set_system(std::size_t num_blocks, std::size_t block_size,
+                             std::size_t straddlers_per_boundary,
+                             std::size_t straddler_size);
+
 struct ExactCoverProblem {
   SetSystem system;
 

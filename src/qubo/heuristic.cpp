@@ -115,6 +115,51 @@ Sample greedy_descent(const Qubo& q, std::vector<bool> start) {
   return {std::move(s.x), s.energy};
 }
 
+Sample tabu_search(const Qubo& q, std::vector<bool> start,
+                   const TabuParams& params) {
+  start.resize(q.num_variables(), false);
+  FlipState s(q, std::move(start));
+  const std::size_t n = s.x.size();
+  if (n == 0 || params.max_iters == 0) {
+    return greedy_descent(q, std::move(s.x));
+  }
+  const std::size_t tenure =
+      params.tenure ? params.tenure : std::min<std::size_t>(20, n / 4) + 1;
+  const std::size_t stall_iters =
+      params.stall_iters ? params.stall_iters : params.max_iters / 4 + 1;
+
+  std::vector<bool> best = s.x;
+  double best_energy = s.energy;
+  std::vector<std::size_t> tabu_until(n, 0);
+  std::size_t stall = 0;
+  for (std::size_t iter = 1;
+       iter <= params.max_iters && stall < stall_iters; ++iter) {
+    std::size_t move = n;
+    double move_delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = s.delta(i);
+      const bool tabu = tabu_until[i] >= iter;
+      if (tabu && s.energy + d >= best_energy - Qubo::kEps) continue;
+      if (move == n || d < move_delta - Qubo::kEps) {
+        move = i;
+        move_delta = d;
+      }
+    }
+    if (move == n) break;  // everything tabu and nothing aspirates
+    s.flip(move, move_delta);
+    tabu_until[move] = iter + tenure;
+    if (s.energy < best_energy - Qubo::kEps) {
+      best_energy = s.energy;
+      best = s.x;
+      stall = 0;
+    } else {
+      ++stall;
+    }
+  }
+  // Quench the best state: tabu may have stepped off a local minimum last.
+  return greedy_descent(q, std::move(best));
+}
+
 std::vector<Sample> boltzmann_sample(const Qubo& q, double beta,
                                      std::size_t num_samples, Rng& rng,
                                      std::size_t burn_in_sweeps,

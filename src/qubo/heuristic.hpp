@@ -42,6 +42,27 @@ std::vector<Sample> anneal(const Qubo& q, const AnnealParams& params,
 /// Greedy single-flip descent to a local minimum from the given start.
 Sample greedy_descent(const Qubo& q, std::vector<bool> start);
 
+struct TabuParams {
+  std::size_t max_iters = 0;    // total single-flip moves; 0 disables search
+  std::size_t stall_iters = 0;  // stop after this many non-improving moves
+                                // in a row; 0 = max_iters / 4 + 1
+  std::size_t tenure = 0;       // moves a flipped variable stays tabu;
+                                // 0 = min(20, n / 4) + 1 (qbsolv-style)
+};
+
+/// Deterministic tabu search from the given start (qbsolv's classical
+/// sub-QUBO solver). Each move flips the best admissible variable — lowest
+/// energy delta, ties to the lowest index — where admissible means not
+/// tabu, or tabu but beating the best energy seen (aspiration). Unlike
+/// greedy_descent this crosses small uphill barriers, which matters for
+/// compiled programs whose hard-constraint scale flattens the soft
+/// landscape: a one-soft-unit ridge (e.g. swapping a set cover's two
+/// halves for the full block) is invisible to pure descent. Returns the
+/// best state visited. No randomness: identical inputs give identical
+/// outputs on any thread count.
+Sample tabu_search(const Qubo& q, std::vector<bool> start,
+                   const TabuParams& params);
+
 /// Draws `num_samples` samples approximately from the Boltzmann distribution
 /// exp(-beta * E(x)) via Metropolis with burn-in; used as the wide-circuit
 /// QAOA surrogate.

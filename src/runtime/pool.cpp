@@ -6,24 +6,10 @@
 #include <thread>
 #include <utility>
 
+#include "util/rng.hpp"
+
 namespace nck {
 namespace {
-
-/// Schedule-independent per-(task, candidate) stream seed: a splitmix64
-/// finalizer over the base seed and both indices, so the stream a task
-/// samples from does not depend on which worker claims it or how many
-/// workers exist.
-std::uint64_t task_seed(std::uint64_t base, std::size_t task,
-                        std::size_t candidate) {
-  std::uint64_t z = base ^ (0x9E3779B97F4A7C15ull * (task + 1)) ^
-                    (0xBF58476D1CE4E5B9ull * (candidate + 1));
-  z ^= z >> 30;
-  z *= 0xBF58476D1CE4E5B9ull;
-  z ^= z >> 27;
-  z *= 0x94D049BB133111EBull;
-  z ^= z >> 31;
-  return z;
-}
 
 /// Strict "a beats b" for the portfolio: a solve that ran beats one that
 /// failed; among ran solves, better classification wins; ties keep the
@@ -38,7 +24,10 @@ bool beats(const SolveReport& a, const SolveReport& b) {
 
 SolverPool::SolverPool(PoolOptions options)
     : options_(std::move(options)),
-      cache_(std::make_shared<backend::PlanCache>(options_.cache_bytes)) {}
+      cache_(options_.shared_cache
+                 ? options_.shared_cache
+                 : std::make_shared<backend::PlanCache>(options_.cache_bytes)) {
+}
 
 BatchReport SolverPool::solve_all(std::span<const Env> envs,
                                   BackendKind backend) {
@@ -94,8 +83,16 @@ BatchReport SolverPool::run(std::span<const Env> envs,
         if (options_.resilience) {
           solver.resilience_options() = *options_.resilience;
         }
+        if (options_.solve) solver.solve_options() = *options_.solve;
         solver.set_plan_cache(cache_);
-        solver.reseed(task_seed(options_.seed, i, c));
+        // A nonzero stream_salt re-derives the base before the per-(task,
+        // candidate) finalizer, so salted batches stay schedule-independent
+        // without perturbing the salt-free streams existing callers rely on.
+        const std::uint64_t base =
+            options_.stream_salt == 0
+                ? options_.seed
+                : stream_seed(options_.seed, options_.stream_salt);
+        solver.reseed(stream_seed(base, i, c));
         runs.push_back(solver.solve(envs[i], candidates[c]));
       }
 

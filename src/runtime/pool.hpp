@@ -35,8 +35,23 @@ struct PoolOptions {
   /// Resilience for every task solver; nullopt keeps each Solver's own
   /// default (which honors NCK_CHAOS=1).
   std::optional<ResilienceOptions> resilience;
-  /// LRU byte budget of the shared plan cache.
+  /// SolveOptions for every task solver; nullopt keeps the Solver default.
+  /// The decomposer uses this to propagate its remaining wall budget into
+  /// each round's sub-solves.
+  std::optional<SolveOptions> solve;
+  /// Extra salt mixed into every per-(task, candidate) stream seed. 0 (the
+  /// default) keeps the historical streams; the decomposer sets the round
+  /// number so each large-neighborhood round samples fresh streams while
+  /// the base seed (and hence calibration + plan keys) stays fixed.
+  std::uint64_t stream_salt = 0;
+  /// LRU byte budget of the shared plan cache. Ignored when `shared_cache`
+  /// is set.
   std::size_t cache_bytes = backend::PlanCache::kDefaultMaxBytes;
+  /// Adopt an existing plan cache instead of creating a private one, so a
+  /// pool can extend an outer solver's cache (the decomposer shares its
+  /// parent Solver's cache: sub-plans survive across rounds and the parent
+  /// observes the hit rate).
+  std::shared_ptr<backend::PlanCache> shared_cache;
 };
 
 struct BatchReport {

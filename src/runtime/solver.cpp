@@ -1,5 +1,6 @@
 #include "runtime/solver.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <optional>
 #include <string>
@@ -8,6 +9,7 @@
 #include "anneal/topology.hpp"
 #include "circuit/coupling.hpp"
 #include "runtime/backends.hpp"
+#include "runtime/pool.hpp"
 #include "util/timer.hpp"
 
 namespace nck {
@@ -23,14 +25,37 @@ void fail(SolveReport& report, FailureKind kind, std::string detail) {
 /// sample; sampling backends report the first optimal sample, else the
 /// first suboptimal, else the first (annealer reads are ordered by
 /// ascending logical energy).
-void fill_report(SolveReport& report, const backend::ExecutionResult& res) {
+///
+/// With `deferred_truth` the report carries no exact ground truth: the best
+/// sample is selected by direct Definition 6 comparison (fewest violated
+/// hards, then most satisfied softs, earliest wins) and *becomes* the
+/// truth reference, so the batch classifies against the solve's own best.
+void fill_report(SolveReport& report, const backend::ExecutionResult& res,
+                 bool deferred_truth) {
   report.ran = true;
   report.qubits_used = res.qubits_used;
   report.circuit_depth = res.circuit_depth;
   report.num_samples = res.samples.size();
-  report.counts = classify_all(res.evaluations, report.truth);
   report.backend_seconds = res.device_seconds;
   std::size_t best_idx = 0;
+  if (deferred_truth) {
+    if (!res.single_answer) {
+      for (std::size_t i = 1; i < res.evaluations.size(); ++i) {
+        if (decompose::improves(res.evaluations[i],
+                                res.evaluations[best_idx])) {
+          best_idx = i;
+        }
+      }
+    }
+    const Evaluation& best_eval = res.evaluations[best_idx];
+    report.truth = {best_eval.feasible(), best_eval.soft_satisfied};
+    report.truth_exact = false;
+    report.counts = classify_all(res.evaluations, report.truth);
+    report.best_assignment = res.samples[best_idx];
+    report.best_quality = classify(best_eval, report.truth);
+    return;
+  }
+  report.counts = classify_all(res.evaluations, report.truth);
   Quality best = Quality::kIncorrect;
   if (res.single_answer) {
     best = classify(res.evaluations.front(), report.truth);
@@ -118,7 +143,8 @@ std::string SolveReport::failure_message() const {
 }
 
 Solver::Solver(std::uint64_t seed)
-    : rng_(seed),
+    : seed_(seed),
+      rng_(seed),
       coupling_(brooklyn_coupling()),
       plan_cache_(std::make_shared<backend::PlanCache>()) {
   Rng device_rng(seed ^ 0xD3071CEull);
@@ -161,6 +187,10 @@ bool Solver::validate_options(const std::vector<BackendKind>& chain,
   if (std::isnan(solve_options_.wall_budget_ms)) {
     return reject("wall_budget_ms is NaN");
   }
+  if (solve_options_.decompose.enabled &&
+      solve_options_.decompose.subproblem_vars == 0) {
+    return reject("decompose.subproblem_vars must be >= 1");
+  }
 
   for (BackendKind bk : chain) {
     const backend::Backend* be = registry_.find(bk);
@@ -173,66 +203,116 @@ bool Solver::validate_options(const std::vector<BackendKind>& chain,
   return true;
 }
 
-void Solver::solve_impl(const Env& env, BackendKind backend,
-                        SolveReport& report, obs::Trace& trace) {
-  obs::Span solve_span(trace, "solve");
+/// The staged solve pipeline. Each stage reads and advances this shared
+/// state; stages returning bool report "continue" (false means the report
+/// is finalized — failed, or answered without dispatch). The ordinary
+/// whole-program solve is the pipeline with dispatch_stage as its executor;
+/// decompose_stage swaps in the qbsolv-style large-neighborhood loop, and
+/// everything before and after (presolve, analysis, certification, truth,
+/// lift) is shared between the two.
+struct Solver::Stages {
+  Solver& s;
+  const Env& env;
+  const BackendKind primary;
+  SolveReport& report;
+  obs::Trace& trace;
 
   // Wall-clock deadline (distinct from the modeled-session deadline in
-  // RetryPolicy::deadline_ms; see SolveOptions::wall_budget_ms). The gate
-  // runs at entry — an already-expired request fails fast without burning
-  // any presolve/analysis/backend work — and again between stages and
-  // before every attempt.
+  // RetryPolicy::deadline_ms; see SolveOptions::wall_budget_ms). Gated at
+  // entry, between stages, and before every attempt.
   const Timer wall_clock;
-  const double wall_budget = solve_options_.wall_budget_ms;
-  const auto wall_expired = [&]() noexcept {
+  const double wall_budget;
+
+  /// Primary backend then deduplicated fallback rungs (first wins).
+  std::vector<BackendKind> chain;
+
+  /// The program the pipeline operates on: `env`, or the cached reduced
+  /// program once presolve changes it.
+  const Env* work;
+  backend::PlanPtr presolve_plan_ptr;  // owns the reduced Env `work` may alias
+  const PresolvePlan* presolve_plan = nullptr;
+  bool presolve_rejected = false;
+
+  /// The post-presolve program exceeds the per-subproblem cap and
+  /// decomposition is enabled: dispatch is replaced by the LNS loop,
+  /// analysis stays program-level, truth goes component-wise.
+  bool decomposed = false;
+  /// Some interaction component was too large for exact ground truth; the
+  /// report's truth is referenced to the final incumbent instead.
+  bool truth_deferred = false;
+
+  Stages(Solver& solver, const Env& e, BackendKind b, SolveReport& r,
+         obs::Trace& t)
+      : s(solver),
+        env(e),
+        primary(b),
+        report(r),
+        trace(t),
+        wall_budget(solver.solve_options_.wall_budget_ms),
+        work(&e) {}
+
+  bool wall_expired() const noexcept {
     return wall_clock.milliseconds() >= wall_budget;
-  };
-  const auto fail_wall = [&](const char* stage) {
+  }
+
+  void fail_wall(const char* stage) {
     report.resilience.deadline_exhausted = true;
     obs::count(&trace, "resilience.wall_deadline_exhausted");
     fail(report, FailureKind::kDeadlineExhausted,
          std::string("wall-clock deadline exhausted ") + stage + " (budget " +
              std::to_string(wall_budget) + " ms)");
-  };
+  }
+
+  bool begin();
+  bool presolve_stage();
+  bool analysis_stage();
+  bool certify_stage();
+  bool truth_stage();
+  void dispatch_stage();
+  void decompose_stage();
+  void lift_stage();
+};
+
+bool Solver::Stages::begin() {
+  // An already-expired request fails fast without burning any presolve,
+  // analysis, or backend work.
   if (wall_budget <= 0.0) {
     fail_wall("before the solve started");
-    return;
+    return false;
   }
 
   // Chain: the primary backend, then the fallback rungs in order, with
   // every duplicate kind dropped (first occurrence wins). Validation and
-  // analysis below run over the deduplicated chain, so a rung listed
-  // twice is checked — and diagnosed — once.
-  std::vector<BackendKind> chain{backend};
-  if (resilience_.fallback) {
-    for (BackendKind b : *resilience_.fallback) {
+  // analysis run over the deduplicated chain, so a rung listed twice is
+  // checked — and diagnosed — once.
+  chain.push_back(primary);
+  if (s.resilience_.fallback) {
+    for (BackendKind b : *s.resilience_.fallback) {
       bool seen = false;
       for (BackendKind c : chain) seen = seen || c == b;
       if (!seen) chain.push_back(b);
     }
   }
 
-  if (!validate_options(chain, report)) return;
+  return s.validate_options(chain, report);
+}
 
+bool Solver::Stages::presolve_stage() {
   // Presolve: run the dataflow fixpoint and the model-preserving reduction
   // catalog before anything else touches the program. On success the whole
   // pipeline below — analysis, certification, ground truth, backend plan
   // keys — operates on the reduced program, and samples are lifted back to
   // original space at the end. Three non-identity outcomes:
   //   reduced          `work` switches to the cached reduced program;
-  //   proved unsat     `work` stays original, so the analysis block below
+  //   proved unsat     `work` stays original, so the analysis stage
   //                    rejects it with the usual NCK-P001/P002/D003 story;
   //   rejected         the equivalence check failed (NCK-D004 warning is
   //                    appended after analysis); `work` stays original.
-  const Env* work = &env;
-  backend::PlanPtr presolve_plan_ptr;  // owns the reduced Env `work` may alias
-  const PresolvePlan* presolve_plan = nullptr;
-  bool presolve_rejected = false;
-  if (solve_options_.presolve) {
+  if (s.solve_options_.presolve) {
     obs::Span presolve_span(trace, "presolve");
     const backend::Fingerprint key =
-        presolve_key(env, solve_options_.reduce_options);
-    if (backend::PlanPtr cached = plan_cache_->find(key)) {
+        presolve_key(env, s.solve_options_.reduce_options);
+    if (backend::PlanPtr cached = s.plan_cache_->find(key)) {
       obs::count(&trace, "plan_cache.hit");
       obs::count(&trace, "presolve.cache_hit");
       presolve_plan_ptr = std::move(cached);
@@ -240,11 +320,11 @@ void Solver::solve_impl(const Env& env, BackendKind backend,
       obs::count(&trace, "plan_cache.miss");
       obs::count(&trace, "presolve.cache_miss");
       auto plan = std::make_shared<PresolvePlan>();
-      plan->result = reduce_program(env, solve_options_.reduce_options);
+      plan->result = reduce_program(env, s.solve_options_.reduce_options);
       plan->verdict = verify_reduction(
-          env, plan->result, solve_options_.reduce_options.verify_max_vars);
+          env, plan->result, s.solve_options_.reduce_options.verify_max_vars);
       presolve_plan_ptr = std::move(plan);
-      plan_cache_->insert(key, presolve_plan_ptr);
+      s.plan_cache_->insert(key, presolve_plan_ptr);
     }
     presolve_plan = static_cast<const PresolvePlan*>(presolve_plan_ptr.get());
     const ReduceResult& red = presolve_plan->result;
@@ -279,35 +359,54 @@ void Solver::solve_impl(const Env& env, BackendKind backend,
     report.num_samples = 1;
     report.counts.optimal = 1;
     obs::count(&trace, "presolve.short_circuit");
-    return;
+    return false;
   }
+  return true;
+}
 
+bool Solver::Stages::analysis_stage() {
   // Static analysis runs before any backend (or even ground-truth) work:
   // error diagnostics are sound proofs that the solve cannot succeed. In
   // chain mode a rung-specific error is survivable (the solve degrades),
-  // so only program-level errors and NCK-R000 abort.
+  // so only program-level errors and NCK-R000 abort. In decomposed mode
+  // the whole program never reaches a device, so only the program-level
+  // passes run here (a >cap program would otherwise draw a fatal NCK-Q002
+  // / NCK-C001); the hardware passes run per sub-QUBO inside each
+  // sub-solve.
   // While certifying, the heuristic NCK-P007 scale-separation pass yields
   // to its sound NCK-V001/V002 successors (restored after the analyze run).
   const bool saved_scale_separation =
-      analyzer_.options().program.scale_separation;
-  if (solve_options_.certify) {
-    analyzer_.options().program.scale_separation = false;
+      s.analyzer_.options().program.scale_separation;
+  if (s.solve_options_.certify) {
+    s.analyzer_.options().program.scale_separation = false;
   }
   {
     obs::Span analyze_span(trace, "analyze");
-    if (chain.size() > 1) {
+    if (decomposed) {
+      report.analysis = s.analyzer_.analyze(*work);
+    } else if (chain.size() > 1) {
       std::vector<AnalysisTarget> targets;
       targets.reserve(chain.size());
       for (BackendKind b : chain) {
-        targets.push_back(registry_.find(b)->analysis_target());
+        targets.push_back(s.registry_.find(b)->analysis_target());
       }
-      report.analysis = analyzer_.analyze_chain(*work, engine_, targets);
+      report.analysis = s.analyzer_.analyze_chain(*work, s.engine_, targets);
     } else {
-      report.analysis = analyzer_.analyze(
-          *work, engine_, registry_.find(backend)->analysis_target());
+      report.analysis = s.analyzer_.analyze(
+          *work, s.engine_, s.registry_.find(primary)->analysis_target());
     }
   }
-  analyzer_.options().program.scale_separation = saved_scale_separation;
+  s.analyzer_.options().program.scale_separation = saved_scale_separation;
+  if (decomposed) {
+    report.analysis.add(
+        {Severity::kNote, DiagCode::kDecomposed, DiagLocation::program(),
+         "program exceeds the per-subproblem cap (" +
+             std::to_string(work->num_vars()) + " > " +
+             std::to_string(s.solve_options_.decompose.subproblem_vars) +
+             " variables); solving by qbsolv-style decomposition",
+         "hardware-level diagnostics are reported per sub-QUBO inside each "
+         "sub-solve; see SolveReport::decompose for the round story"});
+  }
   if (presolve_rejected) {
     report.analysis.add(
         {Severity::kWarning, DiagCode::kReductionRejected,
@@ -317,89 +416,143 @@ void Solver::solve_impl(const Env& env, BackendKind backend,
              presolve_plan->verdict.detail + ")",
          "this indicates a reduction-catalog bug; `nck_cli simplify` on "
          "this program reproduces it"});
-    report.analysis.canonicalize();
   }
+  if (decomposed || presolve_rejected) report.analysis.canonicalize();
   if (report.analysis.has_errors()) {
     fail(report, FailureKind::kAnalysisRejected,
          "static analysis rejected the program: " + report.analysis.summary());
-    return;
+    return false;
   }
+  return true;
+}
 
-  if (solve_options_.certify) {
-    obs::Span certify_span(trace, "certify");
-    const backend::Fingerprint key =
-        certificate_key(*work, solve_options_.certify_options);
-    ProgramCertificate cert;
-    if (const backend::PlanPtr cached = plan_cache_->find(key)) {
-      obs::count(&trace, "plan_cache.hit");
-      obs::count(&trace, "certify.cache_hits");
-      cert = static_cast<const CertificatePlan&>(*cached).certificate;
-    } else {
-      obs::count(&trace, "plan_cache.miss");
-      cert = certify_program(*work, engine_, solve_options_.certify_options);
-      // Enumeration happens only on this cold path; the warm-solve test
-      // asserts this counter stays flat.
-      trace.registry().add("certify.constraints_enumerated",
-                           static_cast<double>(cert.constraints.size()));
-      auto plan = std::make_shared<CertificatePlan>();
-      plan->certificate = cert;
-      plan_cache_->insert(key, std::move(plan));
-    }
-    report_certificate(*work, cert, solve_options_.certify_options,
-                       report.analysis);
-    report.certificate = std::move(cert);
-    if (report.analysis.has_errors()) {
-      fail(report, FailureKind::kAnalysisRejected,
-           "certification rejected the program: " +
-               report.analysis.summary());
-      return;
-    }
+bool Solver::Stages::certify_stage() {
+  if (!s.solve_options_.certify) return true;
+  obs::Span certify_span(trace, "certify");
+  const backend::Fingerprint key =
+      certificate_key(*work, s.solve_options_.certify_options);
+  ProgramCertificate cert;
+  if (const backend::PlanPtr cached = s.plan_cache_->find(key)) {
+    obs::count(&trace, "plan_cache.hit");
+    obs::count(&trace, "certify.cache_hits");
+    cert = static_cast<const CertificatePlan&>(*cached).certificate;
+  } else {
+    obs::count(&trace, "plan_cache.miss");
+    cert = certify_program(*work, s.engine_, s.solve_options_.certify_options);
+    // Enumeration happens only on this cold path; the warm-solve test
+    // asserts this counter stays flat.
+    trace.registry().add("certify.constraints_enumerated",
+                         static_cast<double>(cert.constraints.size()));
+    auto plan = std::make_shared<CertificatePlan>();
+    plan->certificate = cert;
+    s.plan_cache_->insert(key, std::move(plan));
   }
+  report_certificate(*work, cert, s.solve_options_.certify_options,
+                     report.analysis);
+  report.certificate = std::move(cert);
+  if (report.analysis.has_errors()) {
+    fail(report, FailureKind::kAnalysisRejected,
+         "certification rejected the program: " + report.analysis.summary());
+    return false;
+  }
+  return true;
+}
 
+bool Solver::Stages::truth_stage() {
   {
     obs::Span truth_span(trace, "ground_truth");
-    backend::Fingerprint truth_key;
-    truth_key.mix(std::string("truth"));
-    backend::mix_env(truth_key, *work);
-    if (const backend::PlanPtr cached = plan_cache_->find(truth_key)) {
-      obs::count(&trace, "plan_cache.hit");
-      report.truth = static_cast<const TruthPlan&>(*cached).truth;
+    if (!decomposed &&
+        work->num_vars() > s.solve_options_.truth_exact_max_vars) {
+      // Past the exact-truth ceiling: skip the exponential certifier and
+      // let dispatch reference truth to its own best sample.
+      truth_deferred = true;
+      obs::count(&trace, "truth.deferred");
+    } else if (!decomposed) {
+      backend::Fingerprint truth_key;
+      truth_key.mix(std::string("truth"));
+      backend::mix_env(truth_key, *work);
+      if (const backend::PlanPtr cached = s.plan_cache_->find(truth_key)) {
+        obs::count(&trace, "plan_cache.hit");
+        report.truth = static_cast<const TruthPlan&>(*cached).truth;
+      } else {
+        obs::count(&trace, "plan_cache.miss");
+        report.truth = ground_truth(*work);
+        auto plan = std::make_shared<TruthPlan>();
+        plan->truth = report.truth;
+        s.plan_cache_->insert(truth_key, std::move(plan));
+      }
     } else {
-      obs::count(&trace, "plan_cache.miss");
-      report.truth = ground_truth(*work);
-      auto plan = std::make_shared<TruthPlan>();
-      plan->truth = report.truth;
-      plan_cache_->insert(truth_key, std::move(plan));
+      // A >cap program is exactly what the exact solver chokes on, but its
+      // interaction components are independent: truth factorizes into a
+      // per-component sum (each cached content-addressed, so a repeated
+      // block pattern certifies once). Only when some single component is
+      // itself too large does the report fall back to incumbent-referenced
+      // truth (truth_exact == false in the summary).
+      const ComponentSplit split = split_components(*work);
+      bool all_small = true;
+      for (const Env& component : split.programs) {
+        all_small = all_small &&
+                    component.num_vars() <=
+                        s.solve_options_.decompose.truth_component_vars;
+      }
+      if (!all_small) {
+        truth_deferred = true;
+        obs::count(&trace, "decompose.truth_deferred");
+      } else {
+        GroundTruth total{true, 0};
+        for (const Env& component : split.programs) {
+          backend::Fingerprint truth_key;
+          truth_key.mix(std::string("truth"));
+          backend::mix_env(truth_key, component);
+          GroundTruth part;
+          if (const backend::PlanPtr cached = s.plan_cache_->find(truth_key)) {
+            obs::count(&trace, "plan_cache.hit");
+            part = static_cast<const TruthPlan&>(*cached).truth;
+          } else {
+            obs::count(&trace, "plan_cache.miss");
+            part = ground_truth(component);
+            auto plan = std::make_shared<TruthPlan>();
+            plan->truth = part;
+            s.plan_cache_->insert(truth_key, std::move(plan));
+          }
+          total.feasible = total.feasible && part.feasible;
+          total.best_soft_satisfied += part.best_soft_satisfied;
+        }
+        report.truth = total;
+      }
     }
   }
-  if (!report.truth.feasible) {
+  if (!truth_deferred && !report.truth.feasible) {
     fail(report, FailureKind::kInfeasible,
          "program is infeasible (hard constraints conflict)");
-    return;
+    return false;
   }
   if (wall_expired()) {
     fail_wall("before dispatch");
-    return;
+    return false;
   }
+  return true;
+}
 
-  const bool resilient = resilience_.active();
-  const RetryPolicy& retry = resilience_.retry;
-  FaultInjector injector(resilience_.faults, resilience_.fault_seed);
+void Solver::Stages::dispatch_stage() {
+  const bool resilient = s.resilience_.active();
+  const RetryPolicy& retry = s.resilience_.retry;
+  FaultInjector injector(s.resilience_.faults, s.resilience_.fault_seed);
   // Backoff jitter draws from its own stream, never from the solve's
   // sample stream, so a solve preceded by rejected attempts samples
   // exactly like a clean solve.
-  Rng backoff_rng(resilience_.fault_seed ^ 0xB0FFull);
+  Rng backoff_rng(s.resilience_.fault_seed ^ 0xB0FFull);
   SessionClock clock;
   ResilienceLog& log = report.resilience;
 
-  const backend::SampleFloors floors{resilience_.min_reads,
-                                     resilience_.min_shots};
+  const backend::SampleFloors floors{s.resilience_.min_reads,
+                                     s.resilience_.min_shots};
 
   // Dead-qubit events degrade a per-solve copy of the device, so one
   // stormy session never poisons the next solve's calibration. The
   // degraded topology changes the plan key, which forces the re-embed
   // on the next attempt without any backend-specific logic here.
-  const Device* active_device = &device_;
+  const Device* active_device = &s.device_;
   Device degraded_device;
 
   std::size_t attempt = 0;
@@ -409,7 +562,7 @@ void Solver::solve_impl(const Env& env, BackendKind backend,
 
   for (std::size_t rung = 0; rung < chain.size() && !wall_out; ++rung) {
     const BackendKind bk = chain[rung];
-    const backend::Backend& be = *registry_.find(bk);
+    const backend::Backend& be = *s.registry_.find(bk);
     if (rung > 0) {
       ++log.fallbacks;
       obs::count(&trace, "resilience.fallbacks");
@@ -482,12 +635,12 @@ void Solver::solve_impl(const Env& env, BackendKind backend,
 
         backend::PrepareContext pctx;
         pctx.env = work;
-        pctx.engine = &engine_;
+        pctx.engine = &s.engine_;
         pctx.trace = &trace;
         pctx.device = active_device;
         pctx.key = be.plan_key(pctx);
 
-        backend::PlanPtr plan = plan_cache_->find(pctx.key);
+        backend::PlanPtr plan = s.plan_cache_->find(pctx.key);
         if (plan != nullptr) {
           obs::count(&trace, "plan_cache.hit");
         } else {
@@ -498,13 +651,13 @@ void Solver::solve_impl(const Env& env, BackendKind backend,
             detail = std::move(prep.detail);
           } else {
             plan = std::move(prep.plan);
-            plan_cache_->insert(pctx.key, plan);
+            s.plan_cache_->insert(pctx.key, plan);
           }
         }
 
         if (fk == FailureKind::kNone) {
           backend::ExecuteContext ectx;
-          ectx.rng = &rng_;
+          ectx.rng = &s.rng_;
           ectx.trace = &trace;
           ectx.faults = injector.armed() ? &injector : nullptr;
           ectx.budget = budget;
@@ -515,7 +668,7 @@ void Solver::solve_impl(const Env& env, BackendKind backend,
             detail = std::move(res.detail);
             dead_qubits = std::move(res.dead_qubits);
           } else {
-            fill_report(report, res);
+            fill_report(report, res, truth_deferred);
           }
         }
       }
@@ -547,7 +700,7 @@ void Solver::solve_impl(const Env& env, BackendKind backend,
           // Degradation ladder, step 1: drop the dead qubits from the
           // working graph; the changed plan key re-embeds next attempt.
           if (active_device != &degraded_device) {
-            degraded_device = device_;
+            degraded_device = s.device_;
             active_device = &degraded_device;
           }
           for (std::size_t q : dead_qubits) {
@@ -585,19 +738,234 @@ void Solver::solve_impl(const Env& env, BackendKind backend,
   log.total_wait_ms = clock.wait_ms();
 
   if (!report.ran) fail(report, last_failure, last_detail);
+}
 
+void Solver::Stages::decompose_stage() {
+  const decompose::DecomposeOptions& opts = s.solve_options_.decompose;
+  obs::Span span(trace, "decompose");
+
+  decompose::DecomposeSummary sum;
+  sum.num_vars = work->num_vars();
+  sum.truth_exact = !truth_deferred;
+
+  // The decomposition seam is cut once; rounds re-clamp against the moving
+  // incumbent but never re-partition, so every round's sub-programs with an
+  // unchanged boundary key the same cached plans.
+  const decompose::Partition partition =
+      decompose::plan_partition(*work, opts.subproblem_vars, &s.engine_);
+  sum.subproblems = partition.parts.size();
+  sum.components = partition.components;
+  trace.registry().add("decompose.subproblems",
+                       static_cast<double>(sum.subproblems));
+
+  // Sub-solves are plain solves (no nested decomposition — each part is at
+  // most `subproblem_vars` already) sharing this solver's plan cache and
+  // resilience posture, with the remaining wall budget propagated per
+  // round.
+  SolveOptions sub_options = s.solve_options_;
+  sub_options.decompose.enabled = false;
+  // Per-subproblem exact truth is pointless (the stitch re-evaluates every
+  // candidate whole-program) and exponential at device size: cap it.
+  sub_options.truth_exact_max_vars =
+      std::min(sub_options.truth_exact_max_vars, opts.truth_component_vars);
+
+  std::vector<bool> incumbent(work->num_vars(), false);
+  Evaluation inc_eval = work->evaluate(incumbent);
+
+  FailureKind first_failure = FailureKind::kNone;
+  std::string first_detail;
+  bool any_ran = false;
+  bool wall_out = false;
+
+  for (std::size_t round = 1; round <= opts.max_rounds; ++round) {
+    if (wall_expired()) {
+      wall_out = true;
+      break;
+    }
+    obs::Span round_span(trace, "round");
+    obs::count(&trace, "decompose.rounds");
+
+    // Clamp every neighborhood's boundary to the current incumbent. The
+    // clamped boundary is baked into each sub-program, so the sub-plan
+    // fingerprints are automatically keyed by it.
+    std::vector<decompose::Subproblem> subs;
+    subs.reserve(partition.parts.size());
+    std::vector<Env> sub_envs;
+    sub_envs.reserve(partition.parts.size());
+    for (const std::vector<VarId>& part : partition.parts) {
+      subs.push_back(decompose::clamp_to_incumbent(*work, part, incumbent));
+      sub_envs.push_back(subs.back().env);
+    }
+
+    const backend::PlanCacheStats cache_before = s.plan_cache_->stats();
+
+    // One base seed (the solver's own) for every round keeps sub-solver
+    // calibration and plan keys fixed; the round number salts the sample
+    // streams so a re-clamped neighborhood is not condemned to resample
+    // its previous round verbatim.
+    PoolOptions pool_options;
+    pool_options.num_threads = opts.num_threads;
+    pool_options.seed = s.seed_;
+    pool_options.annealer = s.anneal_options_;
+    if (opts.polish_subsolves) {
+      pool_options.annealer.sampler.postprocess = true;
+      // qbsolv-style tabu refinement: sub-QUBOs are device-capped, so a
+      // generous move budget is still negligible next to the embed cost.
+      pool_options.annealer.sampler.postprocess_tabu_iters = 512;
+    }
+    pool_options.circuit = s.circuit_options_;
+    pool_options.resilience = s.resilience_;
+    pool_options.stream_salt = round;
+    pool_options.shared_cache = s.plan_cache_;
+    if (std::isfinite(wall_budget)) {
+      sub_options.wall_budget_ms =
+          std::max(0.0, wall_budget - wall_clock.milliseconds());
+    }
+    pool_options.solve = sub_options;
+    SolverPool pool(pool_options);
+    const BatchReport batch = pool.solve_all(sub_envs, primary);
+
+    const backend::PlanCacheStats cache_after = s.plan_cache_->stats();
+
+    decompose::RoundStats rs;
+    rs.round = round;
+    rs.cache_hits = cache_after.hits - cache_before.hits;
+    rs.cache_misses = cache_after.misses - cache_before.misses;
+
+    // Stitch: accept each neighborhood's answer, in deterministic part
+    // order, iff substituting it into the incumbent strictly improves the
+    // whole-program evaluation (fewer violated hards, then more satisfied
+    // softs). Strict lexicographic acceptance makes the incumbent sequence
+    // monotone, so the loop cannot cycle and always terminates.
+    for (std::size_t k = 0; k < batch.reports.size(); ++k) {
+      const SolveReport& sub = batch.reports[k];
+      if (!sub.ran) {
+        if (first_failure == FailureKind::kNone) {
+          first_failure = sub.failure;
+          first_detail =
+              "subproblem " + std::to_string(k) + ": " + sub.failure_message();
+        }
+        obs::count(&trace, "decompose.sub_failures");
+        continue;
+      }
+      ++rs.subproblems_ran;
+      report.backend_seconds += sub.backend_seconds;
+      report.qubits_used = std::max(report.qubits_used, sub.qubits_used);
+      report.circuit_depth = std::max(report.circuit_depth, sub.circuit_depth);
+      report.resilience.retries += sub.resilience.retries;
+      report.resilience.reembeds += sub.resilience.reembeds;
+      report.resilience.fallbacks += sub.resilience.fallbacks;
+      report.resilience.degradations += sub.resilience.degradations;
+
+      std::vector<bool> sub_best = sub.best_assignment;
+      if (opts.polish_subsolves) {
+        // Program-level tabu refinement of the neighborhood's answer
+        // (deterministic; see decompose::polish_assignment for why the
+        // QUBO-level polish alone is not enough).
+        sub_best = decompose::polish_assignment(subs[k].env,
+                                                std::move(sub_best));
+      }
+      std::vector<bool> candidate = incumbent;
+      const std::vector<VarId>& vars = subs[k].vars;
+      for (std::size_t i = 0; i < vars.size(); ++i) {
+        candidate[vars[i]] = sub_best[i];
+      }
+      const Evaluation eval = work->evaluate(candidate);
+      if (decompose::improves(eval, inc_eval)) {
+        incumbent = std::move(candidate);
+        inc_eval = eval;
+        ++rs.improved;
+      }
+    }
+
+    any_ran = any_ran || rs.subproblems_ran > 0;
+    rs.hard_violated = inc_eval.hard_violated;
+    rs.soft_satisfied = inc_eval.soft_satisfied;
+    obs::count(&trace, "decompose.subproblems_ran",
+               static_cast<double>(rs.subproblems_ran));
+    obs::count(&trace, "decompose.improved",
+               static_cast<double>(rs.improved));
+    sum.rounds = round;
+    sum.round_stats.push_back(rs);
+
+    if (rs.subproblems_ran == 0) break;  // every neighborhood failed
+    if (rs.improved == 0) {
+      sum.converged = true;
+      break;
+    }
+  }
+
+  report.decompose = std::move(sum);
+
+  if (!any_ran) {
+    if (wall_out || wall_expired()) {
+      fail_wall("during decomposition");
+    } else {
+      fail(report, first_failure, first_detail);
+    }
+    return;
+  }
+  if (wall_out) {
+    // Anytime behavior: the deadline cut the loop short, but completed
+    // rounds still produced an incumbent worth reporting.
+    report.resilience.deadline_exhausted = true;
+    obs::count(&trace, "resilience.wall_deadline_exhausted");
+  }
+
+  report.ran = true;
+  report.backend = primary;
+  report.best_assignment = std::move(incumbent);
+  report.num_samples = 1;
+  if (truth_deferred) {
+    // No exact optimum available: reference the truth to the incumbent
+    // itself. kOptimal then reads "no device-sized neighborhood improves
+    // it" — a local-optimality statement, flagged by truth_exact == false.
+    report.truth = {inc_eval.feasible(), inc_eval.soft_satisfied};
+    report.truth_exact = false;
+  }
+  report.best_quality = classify(inc_eval, report.truth);
+  switch (report.best_quality) {
+    case Quality::kOptimal: report.counts.optimal = 1; break;
+    case Quality::kSuboptimal: report.counts.suboptimal = 1; break;
+    case Quality::kIncorrect: report.counts.incorrect = 1; break;
+  }
+}
+
+void Solver::Stages::lift_stage() {
   // Lift the reduced-space result back to original space: forced variables
   // take their substituted values, dropped variables default to FALSE, and
   // the ground-truth soft optimum regains the statically-decided softs.
-  if (work != &env) {
-    const ReductionTrace& tr = presolve_plan->result.trace;
-    if (report.ran) {
-      report.best_assignment = tr.lift(report.best_assignment);
-    }
-    if (report.truth.feasible) {
-      report.truth.best_soft_satisfied += tr.soft_always_satisfied;
-    }
+  if (work == &env) return;
+  const ReductionTrace& tr = presolve_plan->result.trace;
+  if (report.ran) {
+    report.best_assignment = tr.lift(report.best_assignment);
   }
+  if (report.truth.feasible) {
+    report.truth.best_soft_satisfied += tr.soft_always_satisfied;
+  }
+}
+
+void Solver::solve_impl(const Env& env, BackendKind backend,
+                        SolveReport& report, obs::Trace& trace) {
+  obs::Span solve_span(trace, "solve");
+  Stages st(*this, env, backend, report, trace);
+
+  if (!st.begin()) return;
+  if (!st.presolve_stage()) return;
+  // Decomposition engages only past the cap: at or under it, the pipeline
+  // below is byte-for-byte the whole-program solve (the trivial
+  // one-subproblem case), decompose.enabled or not.
+  st.decomposed = solve_options_.decompose.enabled &&
+                  st.work->num_vars() > solve_options_.decompose.subproblem_vars;
+  if (!st.analysis_stage()) return;
+  if (!st.certify_stage()) return;
+  if (!st.truth_stage()) return;
+  if (st.decomposed) {
+    st.decompose_stage();
+  } else {
+    st.dispatch_stage();
+  }
+  st.lift_stage();
 }
 
 }  // namespace nck

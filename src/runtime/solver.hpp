@@ -27,6 +27,7 @@
 #include "backend/registry.hpp"
 #include "circuit/backend.hpp"
 #include "core/env.hpp"
+#include "decompose/decompose.hpp"
 #include "obs/obs.hpp"
 #include "runtime/resilience.hpp"
 #include "runtime/result.hpp"
@@ -71,6 +72,30 @@ struct SolveOptions {
   /// deadline-exempt classical rung — a caller past its wall deadline has
   /// no use for a late answer). NaN is rejected as kBadOptions.
   double wall_budget_ms = std::numeric_limits<double>::infinity();
+  /// Exact-ground-truth ceiling. Programs with more variables than this
+  /// defer Definition 8 truth to the solve's own best sample — the report's
+  /// truth becomes that sample's evaluation, best_quality == kOptimal reads
+  /// "the best sample of this solve", and SolveReport::truth_exact flips to
+  /// false — instead of running the exponential classical certifier. The
+  /// default (no ceiling) certifies every solve exactly, as before. The
+  /// decomposer caps its sub-solves at decompose.truth_component_vars:
+  /// the stitch re-evaluates every candidate against the whole program, so
+  /// per-subproblem exact truth buys nothing at exponential cost.
+  std::size_t truth_exact_max_vars = std::numeric_limits<std::size_t>::max();
+  /// qbsolv-style large-neighborhood decomposition (DESIGN.md §3i). When
+  /// enabled and the post-presolve program exceeds
+  /// `decompose.subproblem_vars`, the solve partitions the variable-
+  /// interaction graph into device-sized neighborhoods, clamps each
+  /// neighborhood's boundary to the incumbent assignment, fans the clamped
+  /// sub-programs across a SolverPool on the requested backend, stitches
+  /// improving sub-results back, and iterates until no neighborhood
+  /// improves, `max_rounds` is hit, or the wall budget binds. Programs at
+  /// or under the cap take the ordinary whole-program path byte-for-byte,
+  /// so enabling this is safe as a default. Hardware-level analysis runs
+  /// per sub-QUBO inside each sub-solve; the whole-program report carries
+  /// the program-level diagnostics plus an NCK-D005 note and a
+  /// SolveReport::decompose summary.
+  decompose::DecomposeOptions decompose;
 };
 
 struct SolveReport {
@@ -99,7 +124,18 @@ struct SolveReport {
   /// did something (reduced the program, proved it unsat, or was rejected).
   /// Identity presolves leave it disengaged.
   std::optional<PresolveSummary> presolve;
+  /// Decomposition statistics; engaged only when the decompose stage ran
+  /// (SolveOptions::decompose.enabled and the post-presolve program
+  /// exceeded the per-subproblem cap). Carries per-round incumbent energy
+  /// and sub-plan cache traffic.
+  std::optional<decompose::DecomposeSummary> decompose;
   GroundTruth truth;         // classical ground truth used to classify
+  /// True when `truth` came from the exact classical certifier; false when
+  /// it was deferred to the solve's own best result (the program exceeded
+  /// SolveOptions::truth_exact_max_vars, or a decomposed solve had an
+  /// interaction component past decompose.truth_component_vars). Deferred
+  /// truth makes kOptimal a "best found" statement, not a proof.
+  bool truth_exact = true;
   /// Best sample (by classification then energy order of the backend).
   std::vector<bool> best_assignment;
   Quality best_quality = Quality::kIncorrect;
@@ -163,8 +199,15 @@ class Solver {
   void set_plan_cache(std::shared_ptr<backend::PlanCache> cache);
 
  private:
+  /// Per-solve pipeline state threaded through the explicit stage sequence
+  /// (begin → presolve → analysis → certify → truth → dispatch-or-decompose
+  /// → lift). Defined in solver.cpp.
+  struct Stages;
+
   /// Body of solve(); the wrapper owns the trace and snapshots it into the
-  /// report on every exit path.
+  /// report on every exit path. Runs the staged pipeline: whole-program
+  /// dispatch is the trivial one-subproblem case, decomposition the
+  /// many-subproblem one.
   void solve_impl(const Env& env, BackendKind backend, SolveReport& report,
                   obs::Trace& trace);
   /// Entry validation: false (with kBadOptions set) when the options for
@@ -174,6 +217,10 @@ class Solver {
                         SolveReport& report) const;
 
   SynthEngine engine_;
+  /// Construction seed, kept so the decompose stage can hand its
+  /// SolverPool the same base (identical sub-solver calibration and plan
+  /// keys) regardless of reseed() calls since.
+  std::uint64_t seed_;
   Rng rng_;
   Device device_;
   Graph coupling_;

@@ -259,6 +259,22 @@ bool parse_request(const std::string& line, Request& out, std::string& why) {
         out.shots = static_cast<std::size_t>(n);
       } else if (key == "trace") {
         out.trace = c.boolean();
+      } else if (key == "decompose") {
+        out.decompose = c.boolean();
+      } else if (key == "subproblem_vars") {
+        std::uint64_t n = 0;
+        if (!to_count(c.number(), &n) || n == 0) {
+          c.fail("\"subproblem_vars\" must be a positive integer");
+          break;
+        }
+        out.subproblem_vars = static_cast<std::size_t>(n);
+      } else if (key == "max_rounds") {
+        std::uint64_t n = 0;
+        if (!to_count(c.number(), &n) || n == 0) {
+          c.fail("\"max_rounds\" must be a positive integer");
+          break;
+        }
+        out.max_rounds = static_cast<std::size_t>(n);
       } else {
         c.fail("unknown request key \"" + key + "\"");
       }

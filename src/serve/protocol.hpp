@@ -19,6 +19,10 @@
 //             budget ran out while queued is rejected without touching a
 //             solver
 //   reads/shots   per-request sample-budget overrides (0 = server default)
+//   decompose     solve only: enable the qbsolv-style large-neighborhood
+//             decomposition for programs past the sub-QUBO cap
+//   subproblem_vars / max_rounds   decomposition knobs (positive
+//             integers; only meaningful with "decompose": true)
 //   trace     solve only: include the per-request obs trace (nck-trace-v1)
 //             in the response
 //
@@ -84,6 +88,10 @@ struct Request {
   std::size_t reads = 0;  // 0 = server default
   std::size_t shots = 0;  // 0 = server default
   bool trace = false;
+  /// Solve only: qbsolv-style decomposition (SolveOptions::decompose).
+  bool decompose = false;
+  std::size_t subproblem_vars = 0;  // 0 = solver default
+  std::size_t max_rounds = 0;       // 0 = solver default
 };
 
 /// Strictly parses one request line. Returns false with a human-readable

@@ -10,21 +10,10 @@
 #include "circuit/coupling.hpp"
 #include "core/parse.hpp"
 #include "obs/json.hpp"
+#include "util/rng.hpp"
 
 namespace nck::serve {
 namespace {
-
-/// splitmix64 finalizer over (base, serial) — the SolverPool idiom: every
-/// worker Solver shares one base seed (identical device calibration and
-/// plan keys), and each request gets a schedule-independent sample stream
-/// derived from its admission serial, so responses do not depend on which
-/// worker happened to pick the request up.
-std::uint64_t request_seed(std::uint64_t base, std::uint64_t serial) {
-  std::uint64_t z = base + 0x9E3779B97F4A7C15ull * (serial + 1);
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-  return z ^ (z >> 31);
-}
 
 double ms_between(std::chrono::steady_clock::time_point from,
                   std::chrono::steady_clock::time_point to) {
@@ -342,12 +331,27 @@ std::string Server::dispatch(Solver& solver, Analyzer& analyzer,
 std::string Server::solve_payload(Solver& solver, const Job& job) {
   const Env env = parse_program(job.req.program);
 
-  solver.reseed(request_seed(options_.seed, job.serial));
+  // The SolverPool idiom (util/rng stream_seed): every worker Solver shares
+  // one base seed (identical device calibration and plan keys), and each
+  // request gets a schedule-independent sample stream derived from its
+  // admission serial, so responses do not depend on which worker happened
+  // to pick the request up.
+  solver.reseed(stream_seed(options_.seed, job.serial));
   solver.annealer_options() = options_.annealer;
   solver.circuit_options() = options_.circuit;
   if (options_.resilience) solver.resilience_options() = *options_.resilience;
   if (job.req.reads) solver.annealer_options().sampler.num_reads = job.req.reads;
   if (job.req.shots) solver.circuit_options().qaoa.shots = job.req.shots;
+
+  // Per-request decomposition: reset first — worker Solvers are reused, so
+  // a previous request's knobs must not leak into this one.
+  solver.solve_options().decompose = decompose::DecomposeOptions{};
+  if (job.req.decompose) {
+    auto& d = solver.solve_options().decompose;
+    d.enabled = true;
+    if (job.req.subproblem_vars) d.subproblem_vars = job.req.subproblem_vars;
+    if (job.req.max_rounds) d.max_rounds = job.req.max_rounds;
+  }
 
   // Deadline recompute: whatever the queue wait left of the admission
   // budget is the solver's wall budget. A budget that ran out between the
@@ -385,6 +389,15 @@ std::string Server::solve_payload(Solver& solver, const Job& job) {
              ",\"incorrect\":" + std::to_string(report.counts.incorrect) +
              ",\"total\":" + std::to_string(report.counts.total()) + "}";
   payload += ",\"qubits\":" + std::to_string(report.qubits_used);
+  if (report.decompose) {
+    const auto& d = *report.decompose;
+    decomposed_.fetch_add(1, std::memory_order_relaxed);
+    payload += ",\"decompose\":{\"subproblems\":" +
+               std::to_string(d.subproblems) +
+               ",\"rounds\":" + std::to_string(d.rounds) +
+               ",\"converged\":" + (d.converged ? "true" : "false") +
+               ",\"truth_exact\":" + (d.truth_exact ? "true" : "false") + "}";
+  }
   payload += ",\"queue_ms\":" +
              json_number(ms_between(job.enqueued, job.started));
   payload += ",\"wall_ms\":" +
@@ -460,6 +473,7 @@ ServerStats Server::stats() const {
   s.rejected_deadline = rejected_deadline_.load(std::memory_order_relaxed);
   s.worker_stuck = worker_stuck_.load(std::memory_order_relaxed);
   s.late_dropped = late_dropped_.load(std::memory_order_relaxed);
+  s.decomposed = decomposed_.load(std::memory_order_relaxed);
   {
     std::lock_guard lock(queue_mutex_);
     s.queue_depth = queue_.size();
@@ -492,6 +506,7 @@ std::string Server::stats_json() const {
   out += ",\"rejected_deadline\":" + std::to_string(s.rejected_deadline);
   out += ",\"worker_stuck\":" + std::to_string(s.worker_stuck);
   out += ",\"late_dropped\":" + std::to_string(s.late_dropped);
+  out += ",\"decomposed\":" + std::to_string(s.decomposed);
   out += ",\"queue_depth\":" + std::to_string(s.queue_depth);
   out += ",\"in_flight\":" + std::to_string(s.in_flight);
   out += ",\"draining\":" + std::string(s.draining ? "true" : "false");

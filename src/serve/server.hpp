@@ -99,6 +99,7 @@ struct ServerStats {
   std::size_t rejected_deadline = 0;     // expired while queued
   std::size_t worker_stuck = 0;          // watchdog interventions
   std::size_t late_dropped = 0;          // results after a stuck response
+  std::size_t decomposed = 0;            // solves whose decompose stage ran
   std::size_t queue_depth = 0;           // current
   std::size_t in_flight = 0;             // current
   bool draining = false;
@@ -227,6 +228,7 @@ class Server {
   std::atomic<std::size_t> rejected_deadline_{0};
   std::atomic<std::size_t> worker_stuck_{0};
   std::atomic<std::size_t> late_dropped_{0};
+  std::atomic<std::size_t> decomposed_{0};
 
   LatencyHistogram latency_;
   mutable std::mutex counters_mutex_;

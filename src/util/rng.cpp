@@ -19,6 +19,18 @@ constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
 
 }  // namespace
 
+std::uint64_t stream_seed(std::uint64_t base, std::uint64_t a,
+                          std::uint64_t b) noexcept {
+  std::uint64_t z = base ^ (0x9E3779B97F4A7C15ull * (a + 1)) ^
+                    (0xBF58476D1CE4E5B9ull * (b + 1));
+  z ^= z >> 30;
+  z *= 0xBF58476D1CE4E5B9ull;
+  z ^= z >> 27;
+  z *= 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  return z;
+}
+
 Rng::Rng(std::uint64_t seed) noexcept {
   std::uint64_t x = seed;
   for (auto& w : s_) w = splitmix64(x);

@@ -284,6 +284,66 @@ TEST(Reduce, ComponentsAndSplit) {
   EXPECT_EQ(split.var_maps[1], (std::vector<VarId>{c, d}));
   EXPECT_EQ(split.constraint_maps[0], (std::vector<std::size_t>{0, 2}));
   EXPECT_EQ(split.constraint_maps[1], (std::vector<std::size_t>{1}));
+  EXPECT_TRUE(split.free_vars.empty());
+}
+
+TEST(Reduce, SplitListsUnconstrainedVariablesAsFree) {
+  // Variables in no constraint belong to no component; the decomposer
+  // relies on var_maps + free_vars covering [0, n) exactly once.
+  Env env;
+  const VarId a = env.var("a");
+  const VarId isolated = env.var("isolated");
+  const VarId b = env.var("b");
+  env.nck({a, b}, {1});
+  const ComponentSplit split = split_components(env);
+  ASSERT_EQ(split.programs.size(), 1u);
+  EXPECT_EQ(split.var_maps[0], (std::vector<VarId>{a, b}));
+  EXPECT_EQ(split.free_vars, (std::vector<VarId>{isolated}));
+}
+
+TEST(Reduce, SplitOfUnconstrainedProgramIsAllFree) {
+  Env env;
+  const std::vector<VarId> vars = env.new_vars(3, "v");
+  const ComponentSplit split = split_components(env);
+  EXPECT_TRUE(split.programs.empty());
+  EXPECT_EQ(split.free_vars, vars);
+
+  const ComponentSplit empty = split_components(Env{});
+  EXPECT_TRUE(empty.programs.empty());
+  EXPECT_TRUE(empty.free_vars.empty());
+}
+
+TEST(Reduce, SplitKeepsAllSoftProgramsWhole) {
+  // A program with only soft constraints still splits per shared-variable
+  // component, each sub-program carrying its own soft constraints.
+  Env env;
+  const VarId a = env.var("a"), b = env.var("b"), c = env.var("c");
+  env.nck({a, b}, {1}, ConstraintKind::kSoft);
+  env.prefer_true(c);
+  const ComponentSplit split = split_components(env);
+  ASSERT_EQ(split.programs.size(), 2u);
+  EXPECT_EQ(split.programs[0].num_soft(), 1u);
+  EXPECT_EQ(split.programs[0].num_hard(), 0u);
+  EXPECT_EQ(split.var_maps[0], (std::vector<VarId>{a, b}));
+  EXPECT_EQ(split.var_maps[1], (std::vector<VarId>{c}));
+  EXPECT_TRUE(split.free_vars.empty());
+}
+
+TEST(Reduce, SplitJoinsHardClustersBridgedBySoftConstraint) {
+  // Two hard-disjoint clusters tied only through a soft constraint must
+  // land in one component: their soft counts are coupled, so solving them
+  // separately could mis-rank assignments.
+  Env env;
+  const VarId a = env.var("a"), b = env.var("b");
+  const VarId c = env.var("c"), d = env.var("d");
+  env.nck({a, b}, {1});
+  env.nck({c, d}, {1});
+  env.nck({b, c}, {2}, ConstraintKind::kSoft);  // the bridge
+  const ComponentSplit split = split_components(env);
+  ASSERT_EQ(split.programs.size(), 1u);
+  EXPECT_EQ(split.var_maps[0], (std::vector<VarId>{a, b, c, d}));
+  EXPECT_EQ(split.programs[0].num_hard(), 2u);
+  EXPECT_EQ(split.programs[0].num_soft(), 1u);
 }
 
 TEST(Reduce, SummaryCountsMatchTrace) {

@@ -251,6 +251,46 @@ TEST(Heuristic, GreedyDescentReachesLocalMinimum) {
   EXPECT_NEAR(q.energy(s.x), s.energy, 1e-9);
 }
 
+TEST(Heuristic, TabuSearchCrossesBarriersDescentCannot) {
+  // Two coupled variables: E(00) = 0 (global), E(11) = 1 (local),
+  // E(01) = E(10) = 3 (the ridge). Descent from 11 is stuck; tabu must
+  // climb through the ridge and reach 00.
+  Qubo q;
+  q.add_linear(0, 3.0);
+  q.add_linear(1, 3.0);
+  q.add_quadratic(0, 1, -5.0);
+  ASSERT_NEAR(q.energy({true, true}), 1.0, 1e-12);
+  ASSERT_NEAR(q.energy({false, false}), 0.0, 1e-12);
+
+  const Sample stuck = greedy_descent(q, {true, true});
+  EXPECT_NEAR(stuck.energy, 1.0, 1e-12);  // descent cannot move
+
+  const Sample s = tabu_search(q, {true, true}, {.max_iters = 16});
+  EXPECT_NEAR(s.energy, 0.0, 1e-12);
+  EXPECT_EQ(s.x, (std::vector<bool>{false, false}));
+}
+
+TEST(Heuristic, TabuSearchIsDeterministicAndNeverWorseThanDescent) {
+  Rng rng(14);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Qubo q = random_qubo(10, rng);
+    const std::vector<bool> start(10, trial % 2 == 0);
+    const Sample descended = greedy_descent(q, start);
+    const Sample a = tabu_search(q, start, {.max_iters = 200});
+    const Sample b = tabu_search(q, start, {.max_iters = 200});
+    EXPECT_EQ(a.x, b.x) << "trial " << trial;
+    EXPECT_LE(a.energy, descended.energy + 1e-9) << "trial " << trial;
+    EXPECT_NEAR(q.energy(a.x), a.energy, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(Heuristic, TabuSearchWithZeroItersIsGreedyDescent) {
+  Rng rng(15);
+  const Qubo q = random_qubo(8, rng);
+  const std::vector<bool> start(8, true);
+  EXPECT_EQ(tabu_search(q, start, {}).x, greedy_descent(q, start).x);
+}
+
 TEST(Heuristic, BoltzmannPrefersLowEnergy) {
   // Single variable with energy gap: P(x=1)/P(x=0) should be ~exp(-beta).
   Qubo q;
