@@ -1,0 +1,255 @@
+// Standalone driver for the fuzz harnesses when the toolchain has no
+// libFuzzer (-fsanitize=fuzzer unsupported, e.g. plain GCC). It speaks a
+// compatible subset of libFuzzer's CLI so fuzz/run_smoke.sh and CI can
+// invoke either binary identically:
+//
+//   fuzz_parse [flags] corpus_dir_or_file...
+//     -runs=N            fresh mutated executions (default: corpus only)
+//     -max_total_time=S  wall-clock budget in seconds for the mutation loop
+//     -seed=K            RNG seed (default 1)
+//     -max_len=N         mutant size cap (default 4096)
+//     -dict=FILE         libFuzzer-format token dictionary
+//
+// Semantics match the real thing where it matters for the smoke gate:
+// every corpus input is replayed through LLVMFuzzerTestOneInput, then the
+// mutation loop (bit flips, byte edits, chunk splice/erase/duplicate,
+// dictionary-token insertion, crossover with another corpus entry) runs
+// until the budget is spent. Any crash aborts the process with a nonzero
+// exit, which is exactly what the CI job keys on. What it does *not* do is
+// coverage feedback — under Clang the same harness binaries link against
+// real libFuzzer and get it for free. Unknown "-" flags are ignored so
+// libFuzzer invocations stay copy-pasteable.
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+extern "C" int __attribute__((weak)) LLVMFuzzerInitialize(int* argc,
+                                                          char*** argv);
+
+namespace {
+
+using Input = std::vector<std::uint8_t>;
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+bool read_file(const std::string& path, Input& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out.assign(std::istreambuf_iterator<char>(in),
+             std::istreambuf_iterator<char>());
+  return true;
+}
+
+void collect_inputs(const std::string& path, std::vector<Input>& corpus) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) {
+    std::fprintf(stderr, "standalone driver: cannot stat '%s'\n",
+                 path.c_str());
+    return;
+  }
+  if (S_ISDIR(st.st_mode)) {
+    DIR* dir = ::opendir(path.c_str());
+    if (!dir) return;
+    while (const dirent* entry = ::readdir(dir)) {
+      const std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      collect_inputs(path + "/" + name, corpus);
+    }
+    ::closedir(dir);
+    return;
+  }
+  Input input;
+  if (read_file(path, input)) corpus.push_back(std::move(input));
+}
+
+/// Minimal libFuzzer-dictionary reader: quoted tokens (optionally
+/// key="..."), with \\ \" and \xNN escapes; '#' comments.
+std::vector<Input> load_dictionary(const std::string& path) {
+  std::vector<Input> tokens;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t open = line.find('"');
+    if (line.empty() || line[0] == '#' || open == std::string::npos) continue;
+    Input token;
+    for (std::size_t i = open + 1; i < line.size() && line[i] != '"'; ++i) {
+      char c = line[i];
+      if (c == '\\' && i + 1 < line.size()) {
+        const char e = line[++i];
+        if (e == 'x' && i + 2 < line.size()) {
+          const std::string hex = line.substr(i + 1, 2);
+          c = static_cast<char>(std::strtol(hex.c_str(), nullptr, 16));
+          i += 2;
+        } else {
+          c = e;
+        }
+      }
+      token.push_back(static_cast<std::uint8_t>(c));
+    }
+    if (!token.empty()) tokens.push_back(std::move(token));
+  }
+  return tokens;
+}
+
+Input mutate(const Input& base, const std::vector<Input>& corpus,
+             const std::vector<Input>& dictionary, std::size_t max_len,
+             std::uint64_t& rng) {
+  Input out = base;
+  const std::size_t rounds = 1 + splitmix64(rng) % 4;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    switch (splitmix64(rng) % 7) {
+      case 0:  // bit flip
+        if (!out.empty()) {
+          out[splitmix64(rng) % out.size()] ^=
+              static_cast<std::uint8_t>(1u << (splitmix64(rng) % 8));
+        }
+        break;
+      case 1:  // random byte
+        if (!out.empty()) {
+          out[splitmix64(rng) % out.size()] =
+              static_cast<std::uint8_t>(splitmix64(rng));
+        }
+        break;
+      case 2:  // insert a byte
+        out.insert(out.begin() +
+                       static_cast<std::ptrdiff_t>(
+                           out.empty() ? 0 : splitmix64(rng) % out.size()),
+                   static_cast<std::uint8_t>(splitmix64(rng)));
+        break;
+      case 3:  // erase a chunk
+        if (!out.empty()) {
+          const std::size_t at = splitmix64(rng) % out.size();
+          const std::size_t len =
+              1 + splitmix64(rng) % (out.size() - at);
+          out.erase(out.begin() + static_cast<std::ptrdiff_t>(at),
+                    out.begin() + static_cast<std::ptrdiff_t>(at + len));
+        }
+        break;
+      case 4:  // duplicate a chunk
+        if (!out.empty()) {
+          const std::size_t at = splitmix64(rng) % out.size();
+          const std::size_t len =
+              1 + splitmix64(rng) % (out.size() - at);
+          Input chunk(out.begin() + static_cast<std::ptrdiff_t>(at),
+                      out.begin() + static_cast<std::ptrdiff_t>(at + len));
+          out.insert(out.begin() + static_cast<std::ptrdiff_t>(at),
+                     chunk.begin(), chunk.end());
+        }
+        break;
+      case 5:  // dictionary token
+        if (!dictionary.empty()) {
+          const Input& token =
+              dictionary[splitmix64(rng) % dictionary.size()];
+          const std::size_t at =
+              out.empty() ? 0 : splitmix64(rng) % out.size();
+          out.insert(out.begin() + static_cast<std::ptrdiff_t>(at),
+                     token.begin(), token.end());
+        }
+        break;
+      case 6:  // crossover with another corpus entry
+        if (!corpus.empty()) {
+          const Input& other = corpus[splitmix64(rng) % corpus.size()];
+          if (!other.empty()) {
+            const std::size_t take = splitmix64(rng) % other.size();
+            const std::size_t keep =
+                out.empty() ? 0 : splitmix64(rng) % out.size();
+            out.resize(keep);
+            out.insert(out.end(), other.begin(),
+                       other.begin() + static_cast<std::ptrdiff_t>(take));
+          }
+        }
+        break;
+    }
+  }
+  if (out.size() > max_len) out.resize(max_len);
+  return out;
+}
+
+bool flag_value(const char* arg, const char* name, long long* out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = std::atoll(arg + len + 1);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (LLVMFuzzerInitialize) LLVMFuzzerInitialize(&argc, &argv);
+  long long runs = -1;
+  long long max_total_time = 0;
+  long long seed = 1;
+  long long max_len = 4096;
+  std::vector<Input> corpus;
+  std::vector<Input> dictionary;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (arg[0] == '-') {
+      long long value = 0;
+      if (flag_value(arg, "-runs", &value)) {
+        runs = value;
+      } else if (flag_value(arg, "-max_total_time", &value)) {
+        max_total_time = value;
+      } else if (flag_value(arg, "-seed", &value)) {
+        seed = value;
+      } else if (flag_value(arg, "-max_len", &value)) {
+        max_len = value;
+      } else if (std::strncmp(arg, "-dict=", 6) == 0) {
+        dictionary = load_dictionary(arg + 6);
+      }
+      // Other libFuzzer flags are accepted and ignored.
+      continue;
+    }
+    collect_inputs(arg, corpus);
+  }
+
+  std::fprintf(stderr,
+               "standalone fuzz driver (no libFuzzer): %zu corpus inputs, "
+               "%zu dictionary tokens\n",
+               corpus.size(), dictionary.size());
+  std::size_t executions = 0;
+  for (const Input& input : corpus) {
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+    ++executions;
+  }
+  std::fprintf(stderr, "corpus replay done: %zu executions\n", executions);
+
+  if (runs < 0 && max_total_time <= 0) return 0;
+  std::uint64_t rng = static_cast<std::uint64_t>(seed);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(max_total_time);
+  std::size_t mutated = 0;
+  const Input empty;
+  while (true) {
+    if (runs >= 0 && mutated >= static_cast<std::size_t>(runs)) break;
+    if (max_total_time > 0 && (mutated & 0x7) == 0 &&
+        std::chrono::steady_clock::now() >= deadline) {
+      break;
+    }
+    const Input& base =
+        corpus.empty() ? empty : corpus[splitmix64(rng) % corpus.size()];
+    const Input mutant =
+        mutate(base, corpus, dictionary,
+               static_cast<std::size_t>(max_len), rng);
+    LLVMFuzzerTestOneInput(mutant.data(), mutant.size());
+    ++mutated;
+  }
+  std::fprintf(stderr, "mutation loop done: %zu fresh executions (%zu total)\n",
+               mutated, executions + mutated);
+  return 0;
+}

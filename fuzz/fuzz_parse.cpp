@@ -1,0 +1,78 @@
+// Raw-bytes harness for the .nck parser/compiler (DESIGN.md §3j).
+//
+// Input is arbitrary bytes treated as program text. The contract under
+// test:
+//   * parse_program throws only ParseError (incl. the typed
+//     ParseLimitError) or std::invalid_argument — any other escape
+//     (std::out_of_range from unchecked conversions, bad_alloc from
+//     unbounded buffering, ...) crashes the harness;
+//   * accepted programs round-trip: to_string() reparses to the same
+//     variable/constraint shape and reaches a printing fixpoint;
+//   * small accepted programs compile to a QUBO without tripping the
+//     sanitizers (synthesis-budget failures are legitimate and caught).
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "core/compile.hpp"
+#include "core/parse.hpp"
+
+namespace {
+
+/// Hard shape cap before we hand a fuzzer-chosen program to the compiler:
+/// synthesis is exponential in constraint width, and the harness must stay
+/// fast per execution.
+bool cheap_to_compile(const nck::Env& env) {
+  if (env.num_vars() > 6 || env.num_constraints() > 4) return false;
+  for (const nck::Constraint& c : env.constraints()) {
+    if (c.cardinality() > 6) return false;
+  }
+  return true;
+}
+
+void abort_with(const char* what, const std::string& detail) {
+  std::fprintf(stderr, "fuzz_parse: %s: %s\n", what, detail.c_str());
+  __builtin_trap();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  nck::Env env;
+  try {
+    env = nck::parse_program(text);
+  } catch (const nck::ParseError&) {
+    return 0;  // clean typed rejection
+  } catch (const std::invalid_argument&) {
+    return 0;  // clean semantic rejection
+  }
+  // Round-trip oracle: the printer and parser must agree.
+  const std::string printed = env.to_string();
+  nck::Env reparsed;
+  try {
+    reparsed = nck::parse_program(printed);
+  } catch (const std::exception& e) {
+    abort_with("accepted program failed to reparse", e.what());
+  }
+  if (reparsed.num_vars() != env.num_vars() ||
+      reparsed.num_constraints() != env.num_constraints() ||
+      reparsed.num_hard() != env.num_hard() ||
+      reparsed.to_string() != printed) {
+    abort_with("to_string/parse round-trip diverged", printed);
+  }
+  if (cheap_to_compile(env)) {
+    try {
+      const nck::CompiledQubo compiled = nck::compile(env);
+      if (compiled.num_problem_vars != env.num_vars()) {
+        abort_with("compile dropped program variables", printed);
+      }
+    } catch (const std::runtime_error&) {
+      // Synthesis budget exhausted — a typed, expected refusal.
+    }
+  }
+  return 0;
+}

@@ -9,7 +9,8 @@ namespace {
 
 class Lexer {
  public:
-  explicit Lexer(const std::string& text) : text_(text) {}
+  Lexer(const std::string& text, const ParseLimits& limits)
+      : text_(text), limits_(limits) {}
 
   // Token kinds: punctuation chars '(' ')' '{' '}' ',', the "/\" separator
   // ('&'), identifiers ('i'), integers ('n'), end ('$').
@@ -39,6 +40,13 @@ class Lexer {
       while (pos_ < text_.size() &&
              std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
         number.push_back(text_[pos_]);
+        if (number.size() > limits_.max_token_length) {
+          fail_limit(ParseLimit::kTokenLength,
+                     "number literal exceeds " +
+                         std::to_string(limits_.max_token_length) +
+                         " characters",
+                     line, column);
+        }
         advance();
       }
       return {'n', std::move(number), line, column};
@@ -49,6 +57,13 @@ class Lexer {
              (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
               text_[pos_] == '_')) {
         ident.push_back(text_[pos_]);
+        if (ident.size() > limits_.max_token_length) {
+          fail_limit(ParseLimit::kTokenLength,
+                     "identifier exceeds " +
+                         std::to_string(limits_.max_token_length) +
+                         " characters",
+                     line, column);
+        }
         advance();
       }
       return {'i', std::move(ident), line, column};
@@ -58,13 +73,25 @@ class Lexer {
 
   [[noreturn]] static void fail(const std::string& what, std::size_t line,
                                 std::size_t column) {
-    std::ostringstream os;
-    os << "parse error at line " << line << ", column " << column << ": "
-       << what;
-    throw ParseError(os.str());
+    throw ParseError(where(what, line, column));
+  }
+
+  [[noreturn]] static void fail_limit(ParseLimit limit, const std::string& what,
+                                      std::size_t line, std::size_t column) {
+    throw ParseLimitError(
+        limit, where(what + " [limit: " + parse_limit_name(limit) + "]", line,
+                     column));
   }
 
  private:
+  static std::string where(const std::string& what, std::size_t line,
+                           std::size_t column) {
+    std::ostringstream os;
+    os << "parse error at line " << line << ", column " << column << ": "
+       << what;
+    return os.str();
+  }
+
   void advance() {
     if (text_[pos_] == '\n') {
       ++line_;
@@ -89,6 +116,7 @@ class Lexer {
   }
 
   const std::string& text_;
+  const ParseLimits& limits_;
   std::size_t pos_ = 0;
   std::size_t line_ = 1;
   std::size_t column_ = 1;
@@ -96,7 +124,10 @@ class Lexer {
 
 class Parser {
  public:
-  explicit Parser(const std::string& text) : lexer_(text) { shift(); }
+  Parser(const std::string& text, const ParseLimits& limits)
+      : lexer_(text, limits), limits_(limits) {
+    shift();
+  }
 
   Env parse() {
     Env env;
@@ -122,13 +153,54 @@ class Parser {
                       "'",
                   current_.line, current_.column);
     }
+    if (kind == '(' || kind == '{') enter_nesting();
+    if (kind == ')' || kind == '}') leave_nesting();
     shift();
+  }
+
+  void enter_nesting() {
+    if (++nesting_depth_ > limits_.max_nesting_depth) {
+      Lexer::fail_limit(ParseLimit::kNestingDepth,
+                        "bracket nesting exceeds depth " +
+                            std::to_string(limits_.max_nesting_depth),
+                        current_.line, current_.column);
+    }
+  }
+
+  void leave_nesting() {
+    if (nesting_depth_ > 0) --nesting_depth_;
+  }
+
+  /// Converts a digit-string token to a selection value, rejecting
+  /// anything past ParseLimits::max_number_value with a typed error
+  /// *before* conversion so nothing can overflow or truncate (stoul used
+  /// to throw std::out_of_range past ULONG_MAX and the unsigned cast
+  /// silently wrapped literals past UINT_MAX).
+  unsigned number_value(const Lexer::Token& token) const {
+    unsigned long value = 0;
+    for (const char c : token.text) {
+      value = value * 10 + static_cast<unsigned long>(c - '0');
+      if (value > limits_.max_number_value) {
+        Lexer::fail_limit(ParseLimit::kNumberValue,
+                          "selection value " + token.text + " exceeds " +
+                              std::to_string(limits_.max_number_value),
+                          token.line, token.column);
+      }
+    }
+    return static_cast<unsigned>(value);
   }
 
   void parse_constraint(Env& env) {
     if (current_.kind != 'i' || current_.text != "nck") {
       Lexer::fail("expected 'nck', got '" + current_.text + "'",
                   current_.line, current_.column);
+    }
+    if (env.num_constraints() >= limits_.max_constraints) {
+      Lexer::fail_limit(ParseLimit::kConstraints,
+                        "program exceeds " +
+                            std::to_string(limits_.max_constraints) +
+                            " constraints",
+                        current_.line, current_.column);
     }
     shift();
     expect('(', "'('");
@@ -139,7 +211,21 @@ class Parser {
         Lexer::fail("expected variable name, got '" + current_.text + "'",
                     current_.line, current_.column);
       }
+      if (collection.size() >= limits_.max_collection_size) {
+        Lexer::fail_limit(ParseLimit::kCollectionSize,
+                          "collection exceeds " +
+                              std::to_string(limits_.max_collection_size) +
+                              " variables",
+                          current_.line, current_.column);
+      }
       collection.push_back(env.var(current_.text));
+      if (env.num_vars() > limits_.max_variables) {
+        Lexer::fail_limit(ParseLimit::kVariables,
+                          "program exceeds " +
+                              std::to_string(limits_.max_variables) +
+                              " distinct variables",
+                          current_.line, current_.column);
+      }
       shift();
       if (current_.kind == ',') {
         shift();
@@ -156,7 +242,14 @@ class Parser {
         Lexer::fail("expected selection number, got '" + current_.text + "'",
                     current_.line, current_.column);
       }
-      selection.insert(static_cast<unsigned>(std::stoul(current_.text)));
+      if (selection.size() >= limits_.max_selection_size) {
+        Lexer::fail_limit(ParseLimit::kSelectionSize,
+                          "selection set exceeds " +
+                              std::to_string(limits_.max_selection_size) +
+                              " values",
+                          current_.line, current_.column);
+      }
+      selection.insert(number_value(current_));
       shift();
       if (current_.kind == ',') {
         shift();
@@ -183,17 +276,43 @@ class Parser {
   }
 
   Lexer lexer_;
+  const ParseLimits& limits_;
+  std::size_t nesting_depth_ = 0;
   Lexer::Token current_{'$', "", 0, 0};
 };
 
 }  // namespace
 
-Env parse_program(const std::string& text) { return Parser(text).parse(); }
+const char* parse_limit_name(ParseLimit limit) noexcept {
+  switch (limit) {
+    case ParseLimit::kInputBytes: return "input-bytes";
+    case ParseLimit::kTokenLength: return "token-length";
+    case ParseLimit::kNestingDepth: return "nesting-depth";
+    case ParseLimit::kNumberValue: return "number-value";
+    case ParseLimit::kCollectionSize: return "collection-size";
+    case ParseLimit::kSelectionSize: return "selection-size";
+    case ParseLimit::kConstraints: return "constraints";
+    case ParseLimit::kVariables: return "variables";
+  }
+  return "?";
+}
 
-Env parse_program(std::istream& in) {
+Env parse_program(const std::string& text, const ParseLimits& limits) {
+  if (text.size() > limits.max_input_bytes) {
+    throw ParseLimitError(
+        ParseLimit::kInputBytes,
+        "parse error: program text exceeds the " +
+            std::to_string(limits.max_input_bytes) + "-byte cap (" +
+            std::to_string(text.size()) + " bytes) [limit: " +
+            parse_limit_name(ParseLimit::kInputBytes) + "]");
+  }
+  return Parser(text, limits).parse();
+}
+
+Env parse_program(std::istream& in, const ParseLimits& limits) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return parse_program(buffer.str());
+  return parse_program(buffer.str(), limits);
 }
 
 }  // namespace nck

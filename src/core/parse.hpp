@@ -8,8 +8,19 @@
 // Variables are created on first mention (repetition inside a collection is
 // allowed and meaningful, per Definition 1). The "/\" conjunction separators
 // and newlines between constraints are interchangeable.
+//
+// The parser is hardened against adversarial input (it sits behind the
+// nck_serve wire and the fuzz harnesses): ParseLimits bounds the input
+// size, token lengths, bracket nesting, numeric literal range, and program
+// shape, and every violation is a *typed* ParseLimitError naming the limit
+// that tripped. The numeric-literal bound also closes two real bugs found
+// by fuzzing: selection literals past ULONG_MAX used to escape as
+// std::out_of_range (violating the documented ParseError contract), and
+// literals past UINT_MAX were silently truncated modulo 2^32 (so
+// nck({a},{4294967296}) parsed as nck({a},{0})).
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <stdexcept>
 #include <string>
@@ -25,11 +36,66 @@ class ParseError : public std::runtime_error {
       : std::runtime_error(message) {}
 };
 
-/// Parses a full program. Throws ParseError on syntax errors and
+/// The resource limit a ParseLimitError reports.
+enum class ParseLimit {
+  kInputBytes,      // whole-program byte cap
+  kTokenLength,     // one identifier / number literal
+  kNestingDepth,    // open '(' / '{' brackets
+  kNumberValue,     // selection literal magnitude
+  kCollectionSize,  // variables in one collection
+  kSelectionSize,   // values in one selection set
+  kConstraints,     // constraints in the program
+  kVariables,       // distinct variables in the program
+};
+
+/// "input-bytes", "token-length", ... — stable diagnostic identifier.
+const char* parse_limit_name(ParseLimit limit) noexcept;
+
+/// Typed rejection of pathological-but-syntactic input: the program text
+/// exceeded a ParseLimits bound. Subclasses ParseError so existing callers
+/// that catch ParseError keep working; hardened callers (the serve layer,
+/// the fuzz harnesses) can branch on limit().
+class ParseLimitError : public ParseError {
+ public:
+  ParseLimitError(ParseLimit limit, const std::string& message)
+      : ParseError(message), limit_(limit) {}
+  ParseLimit limit() const noexcept { return limit_; }
+
+ private:
+  ParseLimit limit_;
+};
+
+/// Bounds on adversarial program text. The defaults mirror the serve
+/// layer's 1 MiB pre-parse request cap and comfortably admit every
+/// program under examples/ while keeping the lexer's worst case linear
+/// and small.
+struct ParseLimits {
+  /// Whole-input byte cap (mirrors serve::kMaxRequestBytes).
+  std::size_t max_input_bytes = 1u << 20;
+  /// Longest identifier or number literal, in characters.
+  std::size_t max_token_length = 256;
+  /// Deepest simultaneously-open '(' / '{' bracket nesting. The grammar
+  /// today nests at most 2 deep; the explicit bound keeps that an
+  /// invariant (and a typed error) rather than an accident.
+  std::size_t max_nesting_depth = 16;
+  /// Largest admissible selection literal. Selection values beyond the
+  /// collection cardinality are semantically invalid anyway; this bound
+  /// rejects them before any unsigned conversion can truncate.
+  unsigned long max_number_value = 1u << 20;
+  /// Variables in one collection / values in one selection set.
+  std::size_t max_collection_size = 1u << 16;
+  std::size_t max_selection_size = 1u << 16;
+  /// Constraints and distinct variables in the whole program.
+  std::size_t max_constraints = 1u << 16;
+  std::size_t max_variables = 1u << 16;
+};
+
+/// Parses a full program. Throws ParseError on syntax errors,
+/// ParseLimitError (a ParseError) on limit violations, and
 /// std::invalid_argument on semantic ones (e.g. selection > cardinality).
-Env parse_program(const std::string& text);
+Env parse_program(const std::string& text, const ParseLimits& limits = {});
 
 /// Reads the whole stream and parses it.
-Env parse_program(std::istream& in);
+Env parse_program(std::istream& in, const ParseLimits& limits = {});
 
 }  // namespace nck

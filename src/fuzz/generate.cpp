@@ -1,0 +1,93 @@
+#include "fuzz/generate.hpp"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace nck::fuzz {
+namespace {
+
+/// One constraint's collection: distinct variable indices with
+/// multiplicities, total cardinality bounded by options.max_collection.
+std::vector<VarId> decode_collection(ByteDecoder& in, Env& env,
+                                     std::size_t num_vars,
+                                     const GeneratorOptions& options) {
+  const std::size_t max_distinct =
+      std::min(num_vars, std::max<std::size_t>(options.max_collection, 1));
+  const std::size_t distinct = in.range(1, max_distinct);
+  // Start + stride walk over the variable universe; duplicates collapse,
+  // so the realized distinct count may be smaller (still >= 1).
+  const std::size_t start = in.range(0, num_vars - 1);
+  const std::size_t stride = in.range(1, num_vars);
+  std::set<std::size_t> picked;
+  for (std::size_t i = 0; i < distinct; ++i) {
+    picked.insert((start + i * stride) % num_vars);
+  }
+  std::vector<VarId> collection;
+  std::size_t budget = std::max(options.max_collection, picked.size());
+  std::size_t placed = 0;
+  for (const std::size_t index : picked) {
+    // Reserve one slot for each distinct variable not yet placed, so every
+    // picked variable appears at least once within the cardinality budget.
+    const std::size_t still_to_place = picked.size() - placed - 1;
+    const std::size_t mult_cap =
+        std::max<std::size_t>(1, std::min(options.max_multiplicity,
+                                          budget - still_to_place));
+    const std::size_t mult = in.range(1, mult_cap);
+    const VarId v = env.var("v" + std::to_string(index));
+    for (std::size_t m = 0; m < mult; ++m) collection.push_back(v);
+    budget -= mult;
+    ++placed;
+  }
+  return collection;
+}
+
+/// Non-empty selection set over [0, cardinality].
+std::set<unsigned> decode_selection(ByteDecoder& in, unsigned cardinality,
+                                    const GeneratorOptions& options) {
+  std::set<unsigned> selection;
+  const bool contiguous =
+      !options.allow_noncontiguous || (in.next() & 1u) == 0;
+  if (contiguous) {
+    const auto lo = static_cast<unsigned>(in.range(0, cardinality));
+    const auto hi = static_cast<unsigned>(in.range(lo, cardinality));
+    for (unsigned k = lo; k <= hi; ++k) selection.insert(k);
+  } else {
+    // Two-byte membership mask over the (at most 17) admissible counts.
+    const unsigned mask = (static_cast<unsigned>(in.next()) << 8) |
+                          static_cast<unsigned>(in.next());
+    for (unsigned k = 0; k <= cardinality; ++k) {
+      if ((mask >> (k % 16u)) & 1u) selection.insert(k);
+    }
+  }
+  if (selection.empty()) {
+    selection.insert(static_cast<unsigned>(in.range(0, cardinality)));
+  }
+  return selection;
+}
+
+}  // namespace
+
+Env generate_program(const std::uint8_t* data, std::size_t size,
+                     const GeneratorOptions& options) {
+  ByteDecoder in(data, size);
+  Env env;
+  const std::size_t num_vars =
+      in.range(1, std::max<std::size_t>(options.max_vars, 1));
+  const std::size_t num_constraints =
+      in.range(1, std::max<std::size_t>(options.max_constraints, 1));
+  for (std::size_t c = 0; c < num_constraints; ++c) {
+    std::vector<VarId> collection =
+        decode_collection(in, env, num_vars, options);
+    const auto cardinality = static_cast<unsigned>(collection.size());
+    std::set<unsigned> selection = decode_selection(in, cardinality, options);
+    const ConstraintKind kind = options.allow_soft && in.next() % 3 == 0
+                                    ? ConstraintKind::kSoft
+                                    : ConstraintKind::kHard;
+    env.nck(std::move(collection), std::move(selection), kind);
+  }
+  return env;
+}
+
+}  // namespace nck::fuzz

@@ -1,0 +1,73 @@
+// Structured program generation for the differential fuzz harness.
+//
+// `generate_program` is a *total* decoder: every byte string (including the
+// empty one) maps deterministically to a valid, bounded NchooseK program.
+// libFuzzer mutates raw bytes; the decoder turns those bytes into the
+// structured choices that matter for the pipeline under test — variable
+// counts, collection multiplicities, contiguous vs non-contiguous selection
+// sets, hard/soft mixes — so coverage-guided mutation explores *semantic*
+// program space instead of fighting the parser's syntax. This is the
+// classic structured-fuzzing split: fuzz_parse owns the byte-level syntax
+// frontier; fuzz_differential owns the semantic one.
+//
+// Totality contract (relied on by the harness and the property test):
+//   * never throws, never returns an Env that Constraint's validating
+//     constructor would reject;
+//   * every selection set is non-empty and within the collection
+//     cardinality;
+//   * exhausted input decodes as zero bytes, so short inputs still yield
+//     the smallest valid program (one variable, one constraint).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/env.hpp"
+
+namespace nck::fuzz {
+
+/// Bounds on generated programs. Defaults keep the brute-force oracle
+/// (2^vars enumeration) and the circuit state-vector affordable.
+struct GeneratorOptions {
+  std::size_t max_vars = 10;         // distinct program variables
+  std::size_t max_constraints = 5;   // constraints per program
+  std::size_t max_collection = 8;    // collection cardinality (with repeats)
+  std::size_t max_multiplicity = 3;  // per-variable repetition
+  bool allow_soft = true;            // mix soft constraints in
+  bool allow_noncontiguous = true;   // non-interval selection sets
+};
+
+/// Reads little decisions off a byte string; zero once exhausted.
+class ByteDecoder {
+ public:
+  ByteDecoder(const std::uint8_t* data, std::size_t size) noexcept
+      : data_(data), size_(size) {}
+
+  std::uint8_t next() noexcept {
+    return pos_ < size_ ? data_[pos_++] : std::uint8_t{0};
+  }
+
+  /// Uniform-ish draw in [lo, hi] (inclusive); lo when the range is empty.
+  std::size_t range(std::size_t lo, std::size_t hi) noexcept {
+    if (hi <= lo) return lo;
+    const std::size_t span = hi - lo + 1;
+    const std::size_t word = (static_cast<std::size_t>(next()) << 8) |
+                            static_cast<std::size_t>(next());
+    return lo + word % span;
+  }
+
+  std::size_t consumed() const noexcept { return pos_ < size_ ? pos_ : size_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// Decodes `data` into a valid bounded program. Variables are created on
+/// first mention and named v0..vN, so the Env round-trips bytewise through
+/// to_string() -> parse_program() (the property test pins this).
+Env generate_program(const std::uint8_t* data, std::size_t size,
+                     const GeneratorOptions& options = {});
+
+}  // namespace nck::fuzz

@@ -145,6 +145,98 @@ INSTANTIATE_TEST_SUITE_P(RandomPrograms, ParseRoundTrip,
 namespace nck {
 namespace {
 
+// Resource-limit hardening: every ParseLimit is enforced with a typed
+// ParseLimitError so callers (serve, the fuzz harnesses) can distinguish
+// "input too big" from "input malformed" without string matching.
+ParseLimit limit_of(const std::string& text, const ParseLimits& limits) {
+  try {
+    parse_program(text, limits);
+  } catch (const ParseLimitError& e) {
+    return e.limit();
+  }
+  ADD_FAILURE() << "no ParseLimitError for: " << text.substr(0, 60);
+  return ParseLimit::kInputBytes;
+}
+
+TEST(ParseLimits_, InputBytesCapMirrorsServe) {
+  ParseLimits limits;
+  limits.max_input_bytes = 32;
+  EXPECT_EQ(limit_of(std::string(33, ' '), limits), ParseLimit::kInputBytes);
+  // Default matches serve's kMaxRequestBytes (1 MiB).
+  EXPECT_EQ(limit_of("nck({a},{1})" + std::string(1u << 20, ' '),
+                     ParseLimits{}),
+            ParseLimit::kInputBytes);
+  EXPECT_NO_THROW(parse_program(std::string(32, ' '), limits));
+}
+
+TEST(ParseLimits_, TokenLengthCapped) {
+  const std::string long_name(300, 'a');
+  EXPECT_EQ(limit_of("nck({" + long_name + "},{1})", ParseLimits{}),
+            ParseLimit::kTokenLength);
+  ParseLimits tight;
+  tight.max_token_length = 4;
+  EXPECT_EQ(limit_of("nck({abcde},{1})", tight), ParseLimit::kTokenLength);
+  EXPECT_NO_THROW(parse_program("nck({abcd},{1})", tight));
+}
+
+TEST(ParseLimits_, NestingDepthCapped) {
+  // The grammar nests two deep (nck( ... { ... } ... )) and the parser is
+  // iterative, so the default limit is pure defense-in-depth for grammar
+  // growth; a tightened limit must trip on the inner '{'.
+  ParseLimits tight;
+  tight.max_nesting_depth = 1;
+  EXPECT_EQ(limit_of("nck({a},{1})", tight), ParseLimit::kNestingDepth);
+  EXPECT_NO_THROW(parse_program("nck({a},{1})", ParseLimits{}));
+}
+
+TEST(ParseLimits_, NumberValueCapped) {
+  // Both the stoul-out-of-range escape and the modulo-2^32 wrap are
+  // covered in test_fuzz_regressions.cpp; here: the boundary is exact,
+  // and the limit fires during parsing, before semantic validation.
+  EXPECT_EQ(limit_of("nck({a},{1048577})", ParseLimits{}),
+            ParseLimit::kNumberValue);
+  ParseLimits tight;
+  tight.max_number_value = 3;
+  EXPECT_EQ(limit_of("nck({a,b,c},{4})", tight), ParseLimit::kNumberValue);
+  EXPECT_NO_THROW(parse_program("nck({a,b,c},{3})", tight));
+}
+
+TEST(ParseLimits_, CollectionAndSelectionSizesCapped) {
+  ParseLimits tight;
+  tight.max_collection_size = 3;
+  tight.max_selection_size = 2;
+  EXPECT_EQ(limit_of("nck({a,b,c,d},{1})", tight),
+            ParseLimit::kCollectionSize);
+  EXPECT_EQ(limit_of("nck({a,b,c},{0,1,2})", tight),
+            ParseLimit::kSelectionSize);
+  EXPECT_NO_THROW(parse_program("nck({a,b,c},{0,2})", tight));
+}
+
+TEST(ParseLimits_, ConstraintAndVariableCountsCapped) {
+  ParseLimits tight;
+  tight.max_constraints = 2;
+  EXPECT_EQ(limit_of("nck({a},{1}) nck({a},{1}) nck({a},{1})", tight),
+            ParseLimit::kConstraints);
+  ParseLimits few_vars;
+  few_vars.max_variables = 2;
+  EXPECT_EQ(limit_of("nck({a,b,c},{1})", few_vars), ParseLimit::kVariables);
+  EXPECT_NO_THROW(parse_program("nck({a,b},{1}) nck({b},{0})", few_vars));
+}
+
+TEST(ParseLimits_, LimitErrorsNameTheLimitAndStayParseErrors) {
+  ParseLimits tight;
+  tight.max_nesting_depth = 1;
+  try {
+    parse_program("nck({a},{1})", tight);
+    FAIL() << "expected ParseLimitError";
+  } catch (const ParseError& e) {  // ParseLimitError is-a ParseError
+    EXPECT_NE(std::string(e.what()).find("limit"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find(
+                  parse_limit_name(ParseLimit::kNestingDepth)),
+              std::string::npos);
+  }
+}
+
 // Fuzz-ish robustness: random byte strings must either parse or throw a
 // ParseError / std::invalid_argument — never crash or hang.
 class ParseFuzz : public ::testing::TestWithParam<int> {};
